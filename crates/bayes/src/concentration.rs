@@ -1,0 +1,202 @@
+//! Posterior resampling of the DP concentration `α` (Escobar & West 1995).
+
+use rand::Rng;
+
+use dre_prob::{Beta, Distribution, Gamma};
+
+use crate::{BayesError, Result};
+
+/// A `Gamma(shape, rate)` hyperprior over the DP concentration `α`.
+///
+/// With this prior, the conditional posterior of `α` given the current
+/// number of occupied clusters `K` and data size `n` admits the
+/// auxiliary-variable sampler of Escobar & West (1995):
+///
+/// 1. draw `η ~ Beta(α + 1, n)`;
+/// 2. with probability `(a + K − 1) / (a + K − 1 + n·(b − ln η))` draw
+///    `α ~ Gamma(a + K, b − ln η)`, otherwise
+///    `α ~ Gamma(a + K − 1, b − ln η)`.
+///
+/// This removes the need to hand-tune `α` at the cloud: the sampler adapts
+/// the concentration to however many task clusters the data supports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConcentrationPrior {
+    shape: f64,
+    rate: f64,
+}
+
+impl ConcentrationPrior {
+    /// Creates a `Gamma(shape, rate)` prior over `α`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidParameter`] unless both parameters are
+    /// positive and finite.
+    pub fn new(shape: f64, rate: f64) -> Result<Self> {
+        if !(shape > 0.0 && shape.is_finite()) {
+            return Err(BayesError::InvalidParameter {
+                what: "concentration_prior",
+                param: "shape",
+                value: shape,
+            });
+        }
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(BayesError::InvalidParameter {
+                what: "concentration_prior",
+                param: "rate",
+                value: rate,
+            });
+        }
+        Ok(ConcentrationPrior { shape, rate })
+    }
+
+    /// A weakly-informative default, `Gamma(1, 1)` (prior mean 1, broad).
+    pub fn vague() -> Self {
+        ConcentrationPrior {
+            shape: 1.0,
+            rate: 1.0,
+        }
+    }
+
+    /// Prior shape `a`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Prior rate `b`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Prior mean `a/b`.
+    pub fn mean(&self) -> f64 {
+        self.shape / self.rate
+    }
+
+    /// One Escobar–West resampling step for `α`, given the current value,
+    /// the number of occupied clusters `K ≥ 1` and the data size `n ≥ 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidParameter`] for `K == 0`, `n == 0` or a
+    /// non-positive current `α`.
+    pub fn resample<R: Rng + ?Sized>(
+        &self,
+        current_alpha: f64,
+        num_clusters: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<f64> {
+        if num_clusters == 0 {
+            return Err(BayesError::InvalidParameter {
+                what: "concentration resample",
+                param: "num_clusters",
+                value: 0.0,
+            });
+        }
+        if n == 0 {
+            return Err(BayesError::InvalidParameter {
+                what: "concentration resample",
+                param: "n",
+                value: 0.0,
+            });
+        }
+        if !(current_alpha > 0.0 && current_alpha.is_finite()) {
+            return Err(BayesError::InvalidParameter {
+                what: "concentration resample",
+                param: "current_alpha",
+                value: current_alpha,
+            });
+        }
+        let k = num_clusters as f64;
+        let nf = n as f64;
+        let eta = Beta::new(current_alpha + 1.0, nf)
+            .expect("parameters positive")
+            .sample(rng)
+            .clamp(1e-300, 1.0 - 1e-16);
+        let rate = self.rate - eta.ln();
+        let odds = (self.shape + k - 1.0) / (nf * rate);
+        let shape = if rng.gen_range(0.0..1.0) < odds / (1.0 + odds) {
+            self.shape + k
+        } else {
+            self.shape + k - 1.0
+        };
+        // shape can only be ≤ 0 when a + K − 1 ≤ 0, impossible for K ≥ 1.
+        Ok(Gamma::new(shape.max(1e-12), rate)
+            .expect("posterior parameters positive")
+            .sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dre_prob::seeded_rng;
+
+    #[test]
+    fn validates_parameters() {
+        assert!(ConcentrationPrior::new(0.0, 1.0).is_err());
+        assert!(ConcentrationPrior::new(1.0, -1.0).is_err());
+        assert!(ConcentrationPrior::new(f64::NAN, 1.0).is_err());
+        let p = ConcentrationPrior::new(2.0, 4.0).unwrap();
+        assert_eq!(p.shape(), 2.0);
+        assert_eq!(p.rate(), 4.0);
+        assert_eq!(p.mean(), 0.5);
+        assert_eq!(ConcentrationPrior::vague().mean(), 1.0);
+    }
+
+    #[test]
+    fn resample_validates_inputs() {
+        let p = ConcentrationPrior::vague();
+        let mut rng = seeded_rng(0);
+        assert!(p.resample(1.0, 0, 10, &mut rng).is_err());
+        assert!(p.resample(1.0, 2, 0, &mut rng).is_err());
+        assert!(p.resample(0.0, 2, 10, &mut rng).is_err());
+        assert!(p.resample(f64::NAN, 2, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn chain_tracks_cluster_count() {
+        // Run the resampler as a Markov chain with K fixed: many clusters
+        // should pull α up, few clusters should pull it down.
+        let p = ConcentrationPrior::vague();
+        let mut rng = seeded_rng(1);
+        let stationary_mean = |k: usize, n: usize, rng: &mut rand::rngs::StdRng| {
+            let mut alpha = 1.0;
+            let mut acc = 0.0;
+            let burn = 200;
+            let draws = 3000;
+            for i in 0..(burn + draws) {
+                alpha = p.resample(alpha, k, n, rng).unwrap();
+                if i >= burn {
+                    acc += alpha;
+                }
+            }
+            acc / draws as f64
+        };
+        let low = stationary_mean(2, 100, &mut rng);
+        let high = stationary_mean(25, 100, &mut rng);
+        assert!(
+            high > 3.0 * low,
+            "many clusters should imply larger α: K=2 → {low:.3}, K=25 → {high:.3}"
+        );
+        // Sanity: E[K_n | α] at the stationary α ≈ the observed K.
+        let crp = crate::Crp::new(high).unwrap();
+        let implied = crp.expected_tables(100);
+        assert!(
+            (implied - 25.0).abs() < 8.0,
+            "implied tables {implied} should be near 25"
+        );
+    }
+
+    #[test]
+    fn samples_stay_positive_and_finite() {
+        let p = ConcentrationPrior::new(0.5, 0.5).unwrap();
+        let mut rng = seeded_rng(2);
+        let mut alpha = 5.0;
+        for _ in 0..2000 {
+            alpha = p.resample(alpha, 3, 40, &mut rng).unwrap();
+            assert!(alpha > 0.0 && alpha.is_finite());
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Chinese Restaurant Process view of the Dirichlet process.
+
+use rand::Rng;
+
+use crate::{BayesError, Result};
+
+/// The Chinese Restaurant Process with concentration `α`.
+///
+/// Customer `i` joins an existing table `t` with probability
+/// `n_t / (i + α)` and opens a new table with probability `α / (i + α)`.
+/// The induced partition is exactly the clustering a Dirichlet process
+/// assigns to exchangeable data, which is why the number of occupied tables
+/// predicts how many source-task clusters the cloud's DP mixture discovers
+/// (experiment E10).
+///
+/// # Example
+///
+/// ```
+/// use dre_bayes::Crp;
+/// use dre_prob::seeded_rng;
+///
+/// let crp = Crp::new(2.0).unwrap();
+/// let partition = crp.sample_partition(&mut seeded_rng(0), 100);
+/// let tables = partition.iter().max().unwrap() + 1;
+/// assert!(tables >= 1 && tables <= 100);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Crp {
+    alpha: f64,
+}
+
+impl Crp {
+    /// Creates a CRP with concentration `α > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidParameter`] unless `α` is positive and
+    /// finite.
+    pub fn new(alpha: f64) -> Result<Self> {
+        if !(alpha > 0.0 && alpha.is_finite()) {
+            return Err(BayesError::InvalidParameter {
+                what: "crp",
+                param: "alpha",
+                value: alpha,
+            });
+        }
+        Ok(Crp { alpha })
+    }
+
+    /// Concentration parameter `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Samples a partition of `n` customers; entry `i` is the table index of
+    /// customer `i` (tables are numbered `0..k` in order of creation).
+    pub fn sample_partition<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<usize> {
+        let mut assignment = Vec::with_capacity(n);
+        let mut table_sizes: Vec<usize> = Vec::new();
+        for i in 0..n {
+            let denom = i as f64 + self.alpha;
+            let u: f64 = rng.gen_range(0.0..1.0) * denom;
+            let mut acc = 0.0;
+            let mut chosen = table_sizes.len();
+            for (t, &size) in table_sizes.iter().enumerate() {
+                acc += size as f64;
+                if u < acc {
+                    chosen = t;
+                    break;
+                }
+            }
+            if chosen == table_sizes.len() {
+                table_sizes.push(1);
+            } else {
+                table_sizes[chosen] += 1;
+            }
+            assignment.push(chosen);
+        }
+        assignment
+    }
+
+    /// Exact expected number of occupied tables after `n` customers:
+    /// `E[K_n] = Σ_{i=0}^{n-1} α / (α + i)` (≈ `α ln(1 + n/α)`).
+    pub fn expected_tables(&self, n: usize) -> f64 {
+        (0..n).map(|i| self.alpha / (self.alpha + i as f64)).sum()
+    }
+
+    /// Log prior probability of a given partition under the CRP (the
+    /// exchangeable partition probability function):
+    /// `P = α^K ∏_t (n_t − 1)! / ∏_{i=0}^{n-1} (α + i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidData`] if `assignment` is empty or table
+    /// labels are not contiguous from 0.
+    pub fn log_partition_prob(&self, assignment: &[usize]) -> Result<f64> {
+        if assignment.is_empty() {
+            return Err(BayesError::InvalidData {
+                reason: "empty partition",
+            });
+        }
+        let k = assignment.iter().max().expect("nonempty") + 1;
+        let mut sizes = vec![0usize; k];
+        for &t in assignment {
+            sizes[t] += 1;
+        }
+        if sizes.contains(&0) {
+            return Err(BayesError::InvalidData {
+                reason: "table labels must be contiguous from 0",
+            });
+        }
+        let n = assignment.len();
+        let mut lp = (k as f64) * self.alpha.ln();
+        for &s in &sizes {
+            // (s − 1)! = Γ(s).
+            lp += dre_prob::special::ln_gamma(s as f64);
+        }
+        for i in 0..n {
+            lp -= (self.alpha + i as f64).ln();
+        }
+        Ok(lp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dre_prob::seeded_rng;
+
+    #[test]
+    fn validates_alpha() {
+        assert!(Crp::new(0.0).is_err());
+        assert!(Crp::new(f64::NAN).is_err());
+        assert_eq!(Crp::new(1.0).unwrap().alpha(), 1.0);
+    }
+
+    #[test]
+    fn partition_labels_are_contiguous() {
+        let crp = Crp::new(1.0).unwrap();
+        let mut rng = seeded_rng(9);
+        let p = crp.sample_partition(&mut rng, 200);
+        assert_eq!(p.len(), 200);
+        let k = p.iter().max().unwrap() + 1;
+        let mut seen = vec![false; k];
+        for &t in &p {
+            seen[t] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // First customer always opens table 0.
+        assert_eq!(p[0], 0);
+    }
+
+    #[test]
+    fn empirical_table_count_matches_expectation() {
+        let crp = Crp::new(2.0).unwrap();
+        let mut rng = seeded_rng(10);
+        let n = 300;
+        let trials = 2000;
+        let mean_k: f64 = (0..trials)
+            .map(|_| (crp.sample_partition(&mut rng, n).iter().max().unwrap() + 1) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let expected = crp.expected_tables(n);
+        assert!(
+            (mean_k - expected).abs() < 0.25,
+            "mean {mean_k} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn expected_tables_grows_logarithmically() {
+        let crp = Crp::new(1.0).unwrap();
+        let e100 = crp.expected_tables(100);
+        let e10000 = crp.expected_tables(10_000);
+        // Doubling log n roughly doubles K for α=1.
+        assert!(e10000 < 2.2 * e100);
+        assert!(e10000 > 1.5 * e100);
+        assert_eq!(crp.expected_tables(0), 0.0);
+        assert_eq!(crp.expected_tables(1), 1.0);
+    }
+
+    #[test]
+    fn partition_probabilities_normalize_for_small_n() {
+        // For n = 3 the partitions and CRP probabilities are enumerable:
+        // assignments (0,0,0), (0,0,1), (0,1,0), (0,1,1), (0,1,2).
+        let crp = Crp::new(1.7).unwrap();
+        let parts: Vec<Vec<usize>> = vec![
+            vec![0, 0, 0],
+            vec![0, 0, 1],
+            vec![0, 1, 0],
+            vec![0, 1, 1],
+            vec![0, 1, 2],
+        ];
+        let total: f64 = parts
+            .iter()
+            .map(|p| crp.log_partition_prob(p).unwrap().exp())
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_partition_prob_validates_input() {
+        let crp = Crp::new(1.0).unwrap();
+        assert!(crp.log_partition_prob(&[]).is_err());
+        assert!(crp.log_partition_prob(&[0, 2]).is_err()); // skips table 1
+    }
+
+    #[test]
+    fn higher_alpha_creates_more_tables() {
+        let mut rng = seeded_rng(11);
+        let small = Crp::new(0.2).unwrap();
+        let large = Crp::new(20.0).unwrap();
+        let k_small: usize = (0..200)
+            .map(|_| small.sample_partition(&mut rng, 100).iter().max().unwrap() + 1)
+            .sum();
+        let k_large: usize = (0..200)
+            .map(|_| large.sample_partition(&mut rng, 100).iter().max().unwrap() + 1)
+            .sum();
+        assert!(k_large > k_small * 4);
+    }
+}

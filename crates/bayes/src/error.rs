@@ -1,0 +1,88 @@
+use std::fmt;
+
+use dre_prob::ProbError;
+
+/// Errors produced by Dirichlet-process machinery.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BayesError {
+    /// A concentration or truncation parameter was out of domain.
+    InvalidParameter {
+        /// Component that rejected the parameter.
+        what: &'static str,
+        /// Parameter name.
+        param: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// Input data was empty or dimensionally inconsistent.
+    InvalidData {
+        /// Human-readable description of the problem.
+        reason: &'static str,
+    },
+    /// An underlying probability/linear-algebra operation failed.
+    Prob(ProbError),
+}
+
+impl fmt::Display for BayesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BayesError::InvalidParameter { what, param, value } => {
+                write!(f, "invalid parameter {param}={value} for {what}")
+            }
+            BayesError::InvalidData { reason } => write!(f, "invalid data: {reason}"),
+            BayesError::Prob(e) => write!(f, "probability failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BayesError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BayesError::Prob(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProbError> for BayesError {
+    fn from(e: ProbError) -> Self {
+        BayesError::Prob(e)
+    }
+}
+
+impl From<dre_linalg::LinalgError> for BayesError {
+    fn from(e: dre_linalg::LinalgError) -> Self {
+        BayesError::Prob(ProbError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_chaining() {
+        let e = BayesError::InvalidParameter {
+            what: "crp",
+            param: "alpha",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("alpha"));
+
+        let e = BayesError::InvalidData { reason: "empty" };
+        assert!(e.to_string().contains("empty"));
+
+        let inner = ProbError::InvalidParameter {
+            what: "gamma",
+            param: "shape",
+            value: 0.0,
+        };
+        let e: BayesError = inner.into();
+        assert!(std::error::Error::source(&e).is_some());
+
+        let le = dre_linalg::LinalgError::Singular { pivot: 1 };
+        let e: BayesError = le.into();
+        assert!(e.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Stick-breaking (GEM) construction of Dirichlet-process weights.
+
+use rand::Rng;
+
+use dre_prob::{Beta, Distribution};
+
+use crate::{BayesError, Result};
+
+/// The stick-breaking (GEM) representation of Dirichlet-process weights.
+///
+/// Breaks a unit stick with proportions `v_k ~ Beta(1, α)`, giving weights
+/// `w_k = v_k ∏_{j<k} (1 − v_j)`. Small `α` concentrates mass on the first
+/// few sticks (few clusters); large `α` spreads it (many clusters).
+///
+/// # Example
+///
+/// ```
+/// use dre_bayes::StickBreaking;
+/// use dre_prob::seeded_rng;
+///
+/// let sb = StickBreaking::new(1.0).unwrap();
+/// let w = sb.sample_weights(&mut seeded_rng(0), 50);
+/// assert!(w.iter().sum::<f64>() <= 1.0 + 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StickBreaking {
+    alpha: f64,
+}
+
+impl StickBreaking {
+    /// Creates a stick-breaking process with concentration `α > 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidParameter`] unless `α` is positive and
+    /// finite.
+    pub fn new(alpha: f64) -> Result<Self> {
+        if !(alpha > 0.0 && alpha.is_finite()) {
+            return Err(BayesError::InvalidParameter {
+                what: "stick_breaking",
+                param: "alpha",
+                value: alpha,
+            });
+        }
+        Ok(StickBreaking { alpha })
+    }
+
+    /// Concentration parameter `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Samples the first `k` stick weights (they sum to less than 1; the
+    /// remainder belongs to the un-broken tail of the stick).
+    pub fn sample_weights<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<f64> {
+        let beta = Beta::new(1.0, self.alpha).expect("validated at construction");
+        let mut remaining = 1.0;
+        let mut w = Vec::with_capacity(k);
+        for _ in 0..k {
+            let v = beta.sample(rng);
+            w.push(v * remaining);
+            remaining *= 1.0 - v;
+        }
+        w
+    }
+
+    /// Expected weight of the `k`-th stick (0-indexed):
+    /// `E[w_k] = α^k / (1 + α)^{k+1}`.
+    pub fn expected_weight(&self, k: usize) -> f64 {
+        let a = self.alpha;
+        a.powi(k as i32) / (1.0 + a).powi(k as i32 + 1)
+    }
+
+    /// Expected mass left in the tail after `k` sticks:
+    /// `E[1 − Σ_{j<k} w_j] = (α / (1 + α))^k`.
+    ///
+    /// Used to choose a truncation level `K` such that the discarded mass is
+    /// below a tolerance.
+    pub fn expected_tail_mass(&self, k: usize) -> f64 {
+        (self.alpha / (1.0 + self.alpha)).powi(k as i32)
+    }
+
+    /// Smallest truncation level whose expected tail mass is below `tol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BayesError::InvalidParameter`] unless `tol ∈ (0, 1)`.
+    pub fn truncation_for_tolerance(&self, tol: f64) -> Result<usize> {
+        if !(tol > 0.0 && tol < 1.0) {
+            return Err(BayesError::InvalidParameter {
+                what: "stick_breaking",
+                param: "tol",
+                value: tol,
+            });
+        }
+        // (α/(1+α))^k < tol  ⇔  k > ln(tol) / ln(α/(1+α)).
+        let ratio = self.alpha / (1.0 + self.alpha);
+        Ok((tol.ln() / ratio.ln()).ceil().max(1.0) as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dre_prob::seeded_rng;
+
+    #[test]
+    fn validates_alpha() {
+        assert!(StickBreaking::new(0.0).is_err());
+        assert!(StickBreaking::new(-1.0).is_err());
+        assert!(StickBreaking::new(f64::INFINITY).is_err());
+        assert_eq!(StickBreaking::new(2.0).unwrap().alpha(), 2.0);
+    }
+
+    #[test]
+    fn weights_are_a_partial_probability_vector() {
+        let sb = StickBreaking::new(1.5).unwrap();
+        let mut rng = seeded_rng(1);
+        for _ in 0..100 {
+            let w = sb.sample_weights(&mut rng, 30);
+            assert_eq!(w.len(), 30);
+            assert!(w.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(w.iter().sum::<f64>() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn expected_weights_sum_with_tail_to_one() {
+        let sb = StickBreaking::new(0.7).unwrap();
+        let k = 25;
+        let head: f64 = (0..k).map(|i| sb.expected_weight(i)).sum();
+        assert!((head + sb.expected_tail_mass(k) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_first_weight_matches_expectation() {
+        let sb = StickBreaking::new(3.0).unwrap();
+        let mut rng = seeded_rng(2);
+        let n = 20_000;
+        let mean_w0: f64 = (0..n)
+            .map(|_| sb.sample_weights(&mut rng, 1)[0])
+            .sum::<f64>()
+            / n as f64;
+        // E[w_0] = 1/(1+α) = 0.25.
+        assert!((mean_w0 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn truncation_level_controls_tail() {
+        let sb = StickBreaking::new(2.0).unwrap();
+        let k = sb.truncation_for_tolerance(1e-3).unwrap();
+        assert!(sb.expected_tail_mass(k) < 1e-3);
+        assert!(sb.expected_tail_mass(k.saturating_sub(1)) >= 1e-3);
+        assert!(sb.truncation_for_tolerance(0.0).is_err());
+        assert!(sb.truncation_for_tolerance(1.0).is_err());
+    }
+
+    #[test]
+    fn small_alpha_concentrates_mass_early() {
+        let tight = StickBreaking::new(0.1).unwrap();
+        let loose = StickBreaking::new(10.0).unwrap();
+        assert!(tight.expected_weight(0) > loose.expected_weight(0));
+        assert!(
+            tight.truncation_for_tolerance(1e-4).unwrap()
+                < loose.truncation_for_tolerance(1e-4).unwrap()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the Wasserstein dual objective — the hot loop of
+//! every M-step (exercised once per L-BFGS iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dre_models::{LinearModel, LogisticLoss};
+use dre_optim::Objective;
+use dre_prob::{seeded_rng, MvNormal};
+use dre_robust::{WassersteinBall, WassersteinDualObjective};
+
+fn dataset(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut rng = seeded_rng(7);
+    let gen = MvNormal::isotropic(vec![0.0; d], 1.0).unwrap();
+    let xs = gen.sample_n(&mut rng, n);
+    let ys = xs
+        .iter()
+        .map(|x| if x[0] >= 0.0 { 1.0 } else { -1.0 })
+        .collect();
+    (xs, ys)
+}
+
+fn bench_dual(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wasserstein_dual");
+    for &(n, d) in &[(50usize, 5usize), (200, 5), (200, 20), (1000, 20)] {
+        let (xs, ys) = dataset(n, d);
+        let ball = WassersteinBall::new(0.1, 1.0).unwrap();
+        let obj = WassersteinDualObjective::new(&xs, &ys, LogisticLoss, ball).unwrap();
+        let packed: Vec<f64> = (0..d + 2).map(|i| 0.1 * i as f64).collect();
+        let model = LinearModel::from_packed(&packed[..d + 1]);
+
+        group.bench_with_input(
+            BenchmarkId::new("value_and_gradient", format!("n{n}_d{d}")),
+            &n,
+            |bench, _| bench.iter(|| black_box(obj.value_and_gradient(&packed))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact_robust_risk", format!("n{n}_d{d}")),
+            &n,
+            |bench, _| bench.iter(|| black_box(obj.exact_robust_risk(&model))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dual);
+criterion_main!(benches);

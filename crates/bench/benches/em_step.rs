@@ -1,0 +1,56 @@
+//! Micro-benchmarks of one full EM round (E-step + convex M-step) and of
+//! the whole edge fit — the numbers behind experiment E7's deployment
+//! claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dre_bench::{standard_family, standard_learner_config};
+use dre_bayes::MixturePrior;
+use dre_linalg::Matrix;
+use dro_edge::{EdgeLearner, EdgeLearnerConfig};
+
+fn bench_em(c: &mut Criterion) {
+    let (family, mut rng) = standard_family(11);
+    // A prior built from the true centers keeps the benchmark free of
+    // Gibbs-fit noise.
+    let comps: Vec<(f64, Vec<f64>, Matrix)> = family
+        .cluster_centers()
+        .iter()
+        .map(|ctr| (1.0, ctr.clone(), Matrix::from_diag(&vec![0.1; 6])))
+        .collect();
+    let prior = MixturePrior::new(comps).unwrap();
+
+    let mut group = c.benchmark_group("em");
+    for &n in &[20usize, 100, 500] {
+        let task = family.sample_task(&mut rng);
+        let data = task.generate(n, &mut rng);
+
+        let one_round = EdgeLearnerConfig {
+            em_rounds: 1,
+            ..standard_learner_config()
+        };
+        let learner_one = EdgeLearner::new(one_round, prior.clone()).unwrap();
+        group.bench_with_input(BenchmarkId::new("single_round", n), &n, |b, _| {
+            b.iter(|| black_box(learner_one.fit(&data).unwrap()))
+        });
+
+        let full = EdgeLearner::new(standard_learner_config(), prior.clone()).unwrap();
+        group.bench_with_input(BenchmarkId::new("full_fit", n), &n, |b, _| {
+            b.iter(|| black_box(full.fit(&data).unwrap()))
+        });
+
+        // E-step alone: responsibilities + surrogate assembly.
+        let theta = vec![0.1; 6];
+        group.bench_with_input(BenchmarkId::new("e_step", n), &n, |b, _| {
+            b.iter(|| {
+                let r = prior.responsibilities(black_box(&theta));
+                black_box(prior.em_surrogate(&r).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_em);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the cloud-side DP fitting: collapsed Gibbs vs.
+//! truncated variational EM, per sweep and end-to-end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dre_bayes::{DpNiwGibbs, GibbsConfig, VariationalConfig, VariationalDpGmm};
+use dre_prob::{seeded_rng, MvNormal, NormalInverseWishart};
+
+fn clustered_params(m: usize, d: usize) -> Vec<Vec<f64>> {
+    let mut rng = seeded_rng(5);
+    let centers = [
+        MvNormal::isotropic(vec![4.0; d], 0.05).unwrap(),
+        MvNormal::isotropic(vec![-4.0; d], 0.05).unwrap(),
+        MvNormal::isotropic(vec![0.0; d], 0.05).unwrap(),
+    ];
+    (0..m)
+        .map(|i| centers[i % centers.len()].sample(&mut rng))
+        .collect()
+}
+
+fn bench_dp_fitting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_fit");
+    group.sample_size(10);
+    for &m in &[20usize, 60, 120] {
+        let d = 6;
+        let data = clustered_params(m, d);
+        let base = NormalInverseWishart::vague(d).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("gibbs_5_sweeps", m), &m, |b, _| {
+            let gibbs = DpNiwGibbs::new(
+                base.clone(),
+                GibbsConfig {
+                    alpha: 1.0,
+                    burn_in: 0,
+                    sweeps: 5,
+                    alpha_prior: None,
+                },
+            )
+            .unwrap();
+            let mut rng = seeded_rng(9);
+            b.iter(|| black_box(gibbs.fit(&data, &mut rng).unwrap()))
+        });
+
+        group.bench_with_input(BenchmarkId::new("variational_fit", m), &m, |b, _| {
+            let vb = VariationalDpGmm::new(VariationalConfig {
+                alpha: 1.0,
+                truncation: 15,
+                max_iters: 50,
+                ..VariationalConfig::default()
+            })
+            .unwrap();
+            let mut rng = seeded_rng(9);
+            b.iter(|| black_box(vb.fit(&data, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_fitting);
+criterion_main!(benches);

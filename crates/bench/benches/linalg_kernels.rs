@@ -1,0 +1,53 @@
+//! Micro-benchmarks of the linear-algebra kernels the probabilistic and
+//! optimization layers sit on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dre_linalg::{Cholesky, Lu, Matrix, SymEigen};
+
+fn spd(n: usize) -> Matrix {
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = 1.0 / (1.0 + (i as f64 - j as f64).abs());
+        }
+        m[(i, i)] += n as f64;
+    }
+    m
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg");
+    for &n in &[8usize, 32, 128] {
+        let a = spd(n);
+        let b = spd(n);
+        let x = vec![1.0; n];
+
+        group.bench_with_input(BenchmarkId::new("matmul", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("matvec", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matvec(&x).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("cholesky", n), &n, |bench, _| {
+            bench.iter(|| black_box(Cholesky::new(&a).unwrap()))
+        });
+        let chol = Cholesky::new(&a).unwrap();
+        group.bench_with_input(BenchmarkId::new("cholesky_solve", n), &n, |bench, _| {
+            bench.iter(|| black_box(chol.solve(&x).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("lu", n), &n, |bench, _| {
+            bench.iter(|| black_box(Lu::new(&a).unwrap()))
+        });
+        if n <= 32 {
+            group.bench_with_input(BenchmarkId::new("sym_eigen", n), &n, |bench, _| {
+                bench.iter(|| black_box(SymEigen::new(&a).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linalg);
+criterion_main!(benches);

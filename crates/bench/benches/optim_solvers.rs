@@ -1,0 +1,71 @@
+//! Micro-benchmarks comparing the workspace's solvers on the convex
+//! objective shapes the M-step produces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dre_linalg::Matrix;
+use dre_models::{ErmObjective, LogisticLoss};
+use dre_optim::{
+    Adam, GradientDescent, Lbfgs, Prox, ProximalGradient, QuadraticObjective, StopCriteria,
+};
+use dre_prob::{seeded_rng, MvNormal};
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers");
+
+    // Ill-conditioned quadratic.
+    let d = 20;
+    let diag: Vec<f64> = (0..d).map(|i| 1.0 + (i as f64) * 10.0).collect();
+    let quad = QuadraticObjective::new(Matrix::from_diag(&diag), vec![1.0; d], 0.0);
+    let start = vec![5.0; d];
+    let stop = StopCriteria {
+        max_iters: 500,
+        grad_tol: 1e-6,
+        f_tol: 0.0,
+    };
+
+    group.bench_function(BenchmarkId::new("quadratic", "lbfgs"), |b| {
+        let solver = Lbfgs::new(stop);
+        b.iter(|| black_box(solver.minimize(&quad, &start).unwrap()))
+    });
+    group.bench_function(BenchmarkId::new("quadratic", "gd"), |b| {
+        let solver = GradientDescent::new(stop);
+        b.iter(|| black_box(solver.minimize(&quad, &start).unwrap()))
+    });
+    group.bench_function(BenchmarkId::new("quadratic", "adam"), |b| {
+        let solver = Adam::new(stop, 0.3).unwrap();
+        b.iter(|| black_box(solver.minimize(&quad, &start).unwrap()))
+    });
+    group.bench_function(BenchmarkId::new("quadratic", "fista_l1"), |b| {
+        let solver = ProximalGradient::new(stop, Prox::L1(0.01)).accelerated();
+        b.iter(|| black_box(solver.minimize(&quad, &start).unwrap()))
+    });
+
+    // Logistic ERM at the experiment scale.
+    let mut rng = seeded_rng(3);
+    let gen = MvNormal::isotropic(vec![0.0; 10], 1.0).unwrap();
+    let xs = gen.sample_n(&mut rng, 200);
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| if x[0] + 0.5 * x[1] >= 0.0 { 1.0 } else { -1.0 })
+        .collect();
+    let erm = ErmObjective::new(&xs, &ys, LogisticLoss, 1e-3).unwrap();
+    let zero = vec![0.0; 11];
+    group.bench_function(BenchmarkId::new("logistic_erm", "lbfgs"), |b| {
+        let solver = Lbfgs::new(stop);
+        b.iter(|| black_box(solver.minimize(&erm, &zero).unwrap()))
+    });
+    group.bench_function(BenchmarkId::new("logistic_erm", "gd"), |b| {
+        let solver = GradientDescent::new(StopCriteria {
+            max_iters: 200,
+            ..stop
+        });
+        b.iter(|| black_box(solver.minimize(&erm, &zero).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

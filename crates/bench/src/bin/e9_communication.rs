@@ -1,0 +1,99 @@
+//! E9 — communication and latency: prior transfer vs. raw-data upload vs.
+//! local-only, in the event-driven simulator, using the *actual* serialized
+//! size of the fitted DP prior.
+//!
+//! Two cloud profiles bracket reality: a dedicated hyperscale cloud (fast,
+//! never the bottleneck) and a shared regional edge server (modest compute
+//! that queues under fleet load). Expected shape: prior transfer moves one
+//! to two orders of magnitude fewer bytes than raw upload in every case,
+//! its makespan is flat in fleet size, and it wins outright once the cloud
+//! is contended.
+
+use dre_bench::{standard_cloud, standard_family, Table};
+use dre_edgesim::{ComputeModel, DeviceSpec, Link, Scenario, Strategy};
+
+fn main() {
+    let (family, mut rng) = standard_family(909);
+    let cloud = standard_cloud(&family, 40, 1.0, &mut rng);
+    let prior_bytes = cloud.transfer_size_bytes() as u64;
+    println!(
+        "fitted prior: {} components, {} bytes serialized",
+        cloud.prior().num_components(),
+        prior_bytes
+    );
+
+    // A digits-scale workload: 64 features, 500 local samples — raw upload
+    // is ~256 KB, the prior under 1 KB per the fitted size above.
+    let dim = 64;
+    let samples = 500;
+    let link = Link::new_ms(25.0, 250_000.0); // 25 ms one way, 250 KB/s
+
+    // Device ≈ Raspberry-Pi class; the two cloud profiles.
+    let profiles = [
+        ("hyperscale", 1e12),
+        ("shared-edge-server", 4e9),
+    ];
+
+    let mut table = Table::new(
+        "E9",
+        "network bytes and completion time per strategy, fleet size and cloud profile",
+        &[
+            "cloud", "strategy", "fleet", "total-KB", "makespan-ms", "cloud-busy-ms",
+            "device-mJ",
+        ],
+    );
+
+    for (profile, cloud_flops) in profiles {
+        for fleet in [1usize, 10, 50] {
+            for (name, strategy) in [
+                (
+                    "edge-only",
+                    Strategy::EdgeOnly {
+                        samples,
+                        dim,
+                        iterations: 200,
+                    },
+                ),
+                (
+                    "cloud-round-trip",
+                    Strategy::CloudRoundTrip {
+                        samples,
+                        dim,
+                        iterations: 200,
+                    },
+                ),
+                (
+                    "prior-transfer",
+                    Strategy::PriorTransfer {
+                        samples,
+                        dim,
+                        iterations: 100,
+                        em_rounds: 5,
+                        prior_bytes,
+                    },
+                ),
+            ] {
+                let mut scenario = Scenario::new(ComputeModel {
+                    device_flops: 2e9,
+                    cloud_flops,
+                    ..ComputeModel::default()
+                });
+                for _ in 0..fleet {
+                    scenario.add_device(DeviceSpec { link, strategy });
+                }
+                let report = scenario.run();
+                let device_mj = report.devices[0].total_joules() * 1e3;
+                table.push_row(vec![
+                    profile.to_string(),
+                    name.to_string(),
+                    fleet.to_string(),
+                    format!("{:.1}", report.total_bytes as f64 / 1024.0),
+                    format!("{:.1}", report.makespan.as_secs_f64() * 1e3),
+                    format!("{:.1}", report.cloud_busy.as_secs_f64() * 1e3),
+                    format!("{:.2}", device_mj),
+                ]);
+            }
+        }
+    }
+    table.emit();
+}

@@ -1,0 +1,207 @@
+//! Wire format for the cloud→edge knowledge transfer.
+//!
+//! The paper's entire transfer is the finite DP-mixture summary; this
+//! module gives it a versioned little-endian binary encoding so the
+//! simulator's byte counts correspond to an artifact that actually exists:
+//!
+//! ```text
+//! magic  u32   0x4452_4F45 ("DROE")
+//! ver    u8    1
+//! k      u32   number of components
+//! d      u32   parameter dimension
+//! per component:
+//!   weight f64
+//!   mean   d × f64
+//!   cov    d(d+1)/2 × f64   (upper triangle, row major)
+//! ```
+
+use bytes::{Buf, BufMut};
+
+use dre_bayes::MixturePrior;
+use dre_linalg::Matrix;
+
+use crate::{EdgeError, Result};
+
+const MAGIC: u32 = 0x4452_4F45; // "DROE"
+const VERSION: u8 = 1;
+
+/// Serializes a mixture prior into the versioned wire format.
+///
+/// The result's length equals
+/// [`MixturePrior::serialized_size_bytes`] plus the 13-byte header.
+pub fn serialize_prior(prior: &MixturePrior) -> Vec<u8> {
+    let k = prior.num_components();
+    let d = prior.dim();
+    let mut out = Vec::with_capacity(13 + prior.serialized_size_bytes());
+    out.put_u32_le(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u32_le(k as u32);
+    out.put_u32_le(d as u32);
+    for comp in prior.components() {
+        out.put_f64_le(comp.weight());
+        for &m in comp.mean() {
+            out.put_f64_le(m);
+        }
+        let cov = comp.cov();
+        for i in 0..d {
+            for j in i..d {
+                out.put_f64_le(cov[(i, j)]);
+            }
+        }
+    }
+    out
+}
+
+/// Deserializes a mixture prior from the wire format.
+///
+/// # Errors
+///
+/// Returns [`EdgeError::InvalidData`] for truncated input, a wrong magic or
+/// version, or inconsistent sizes, and propagates validation failures from
+/// [`MixturePrior::new`] (e.g. a tampered covariance that is no longer
+/// positive semi-definite).
+pub fn deserialize_prior(bytes: &[u8]) -> Result<MixturePrior> {
+    let mut buf = bytes;
+    if buf.remaining() < 13 {
+        return Err(EdgeError::InvalidData {
+            reason: "prior payload shorter than its header",
+        });
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(EdgeError::InvalidData {
+            reason: "prior payload has wrong magic",
+        });
+    }
+    if buf.get_u8() != VERSION {
+        return Err(EdgeError::InvalidData {
+            reason: "unsupported prior payload version",
+        });
+    }
+    let k = buf.get_u32_le() as usize;
+    let d = buf.get_u32_le() as usize;
+    if k == 0 || d == 0 {
+        return Err(EdgeError::InvalidData {
+            reason: "prior payload declares zero components or dimension",
+        });
+    }
+    let per_comp = 8 * (1 + d + d * (d + 1) / 2);
+    if buf.remaining() != k * per_comp {
+        return Err(EdgeError::InvalidData {
+            reason: "prior payload length does not match its declared shape",
+        });
+    }
+    let mut components = Vec::with_capacity(k);
+    for _ in 0..k {
+        let weight = buf.get_f64_le();
+        let mean: Vec<f64> = (0..d).map(|_| buf.get_f64_le()).collect();
+        let mut cov = Matrix::zeros(d, d);
+        for i in 0..d {
+            for j in i..d {
+                let v = buf.get_f64_le();
+                cov[(i, j)] = v;
+                cov[(j, i)] = v;
+            }
+        }
+        components.push((weight, mean, cov));
+    }
+    MixturePrior::new(components).map_err(EdgeError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_prior() -> MixturePrior {
+        MixturePrior::new(vec![
+            (0.55, vec![1.0, -2.0, 0.5], {
+                let mut m = Matrix::from_diag(&[1.0, 2.0, 0.5]);
+                m[(0, 1)] = 0.3;
+                m[(1, 0)] = 0.3;
+                m
+            }),
+            (0.45, vec![-1.0, 0.0, 4.0], Matrix::identity(3)),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_the_prior_exactly() {
+        let prior = sample_prior();
+        let bytes = serialize_prior(&prior);
+        assert_eq!(bytes.len(), 13 + prior.serialized_size_bytes());
+        let back = deserialize_prior(&bytes).unwrap();
+        assert_eq!(back.num_components(), prior.num_components());
+        assert_eq!(back.dim(), prior.dim());
+        for (a, b) in prior.components().iter().zip(back.components()) {
+            assert_eq!(a.weight(), b.weight());
+            assert_eq!(a.mean(), b.mean());
+            assert!(a.cov().sub(&b.cov()).unwrap().frobenius_norm() < 1e-12);
+        }
+        // Densities agree everywhere we probe.
+        for theta in [[0.0, 0.0, 0.0], [1.0, -2.0, 0.5], [-3.0, 2.0, 1.0]] {
+            assert!((prior.log_pdf(&theta) - back.log_pdf(&theta)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_corrupted_payloads() {
+        let prior = sample_prior();
+        let bytes = serialize_prior(&prior);
+
+        // Truncated.
+        assert!(deserialize_prior(&bytes[..5]).is_err());
+        assert!(deserialize_prior(&bytes[..bytes.len() - 1]).is_err());
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(deserialize_prior(&bad).is_err());
+        // Wrong version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(deserialize_prior(&bad).is_err());
+        // Declared shape mismatch (raise k without adding data).
+        let mut bad = bytes.clone();
+        bad[5] = bad[5].wrapping_add(1);
+        assert!(deserialize_prior(&bad).is_err());
+        // Empty payload claims.
+        let mut empty = Vec::new();
+        empty.put_u32_le(MAGIC);
+        empty.put_u8(VERSION);
+        empty.put_u32_le(0);
+        empty.put_u32_le(3);
+        assert!(deserialize_prior(&empty).is_err());
+    }
+
+    #[test]
+    fn tampered_covariance_fails_validation_not_ub() {
+        let prior = sample_prior();
+        let mut bytes = serialize_prior(&prior);
+        // Overwrite the first covariance diagonal entry with a large
+        // negative number: deserialization must surface a clean error.
+        let cov_offset = 13 + 8 + 3 * 8; // header + weight + mean
+        bytes[cov_offset..cov_offset + 8].copy_from_slice(&(-1e6f64).to_le_bytes());
+        assert!(deserialize_prior(&bytes).is_err());
+    }
+
+    #[test]
+    fn size_formula_matches_gibbs_fitted_prior() {
+        use dre_data::{TaskFamily, TaskFamilyConfig};
+        use dre_prob::seeded_rng;
+        let mut rng = seeded_rng(77);
+        let family = TaskFamily::generate(
+            &TaskFamilyConfig {
+                dim: 3,
+                num_clusters: 2,
+                ..TaskFamilyConfig::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let cloud =
+            crate::CloudKnowledge::from_family(&family, 12, 200, 1.0, &mut rng).unwrap();
+        let bytes = serialize_prior(cloud.prior());
+        assert_eq!(bytes.len(), 13 + cloud.transfer_size_bytes());
+        let back = deserialize_prior(&bytes).unwrap();
+        assert_eq!(back.num_components(), cloud.prior().num_components());
+    }
+}

@@ -1,0 +1,131 @@
+//! Feature standardization (fit on train, apply to test).
+
+use crate::{DataError, Dataset, Result};
+
+/// Per-feature affine standardizer `x ← (x − μ) / σ`, fit on a training set
+/// and applied unchanged to evaluation sets (no test-set leakage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits means and standard deviations on a dataset. Features with zero
+    /// variance get `σ = 1` so they pass through centered.
+    pub fn fit(data: &Dataset) -> Self {
+        let d = data.dim();
+        let n = data.len() as f64;
+        let mut means = vec![0.0; d];
+        for x in data.features() {
+            dre_linalg::vector::axpy(1.0 / n, x, &mut means);
+        }
+        let mut stds = vec![0.0; d];
+        for x in data.features() {
+            for (s, (&xi, &mi)) in stds.iter_mut().zip(x.iter().zip(&means)) {
+                *s += (xi - mi) * (xi - mi);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s == 0.0 {
+                *s = 1.0;
+            }
+        }
+        Standardizer { means, stds }
+    }
+
+    /// Fitted feature means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted feature standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+
+    /// Applies the transform to a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidDataset`] on dimension mismatch.
+    pub fn transform(&self, data: &Dataset) -> Result<Dataset> {
+        if data.dim() != self.means.len() {
+            return Err(DataError::InvalidDataset {
+                reason: "standardizer dimension mismatch",
+            });
+        }
+        let xs = data
+            .features()
+            .iter()
+            .map(|x| {
+                x.iter()
+                    .zip(self.means.iter().zip(&self.stds))
+                    .map(|(&v, (&m, &s))| (v - m) / s)
+                    .collect()
+            })
+            .collect();
+        Dataset::new(xs, data.labels().to_vec())
+    }
+
+    /// Applies the transform to a single feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn transform_row(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.means.len(), "standardizer dimension mismatch");
+        x.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardized_train_set_has_zero_mean_unit_std() {
+        let d = Dataset::new(
+            vec![vec![1.0, 10.0], vec![3.0, 20.0], vec![5.0, 30.0]],
+            vec![1.0, -1.0, 1.0],
+        )
+        .unwrap();
+        let sc = Standardizer::fit(&d);
+        assert_eq!(sc.means(), &[3.0, 20.0]);
+        let t = sc.transform(&d).unwrap();
+        for j in 0..2 {
+            let col: Vec<f64> = t.features().iter().map(|x| x[j]).collect();
+            assert!(dre_linalg::vector::mean(&col).abs() < 1e-12);
+            assert!((dre_linalg::vector::variance(&col, 0) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_features_pass_through_centered() {
+        let d = Dataset::new(vec![vec![7.0], vec![7.0]], vec![1.0, -1.0]).unwrap();
+        let sc = Standardizer::fit(&d);
+        assert_eq!(sc.stds(), &[1.0]);
+        let t = sc.transform(&d).unwrap();
+        assert_eq!(t.features()[0], vec![0.0]);
+    }
+
+    #[test]
+    fn transform_validates_dimension() {
+        let d = Dataset::new(vec![vec![1.0, 2.0]], vec![1.0]).unwrap();
+        let sc = Standardizer::fit(&d);
+        let other = Dataset::new(vec![vec![1.0]], vec![1.0]).unwrap();
+        assert!(sc.transform(&other).is_err());
+        assert_eq!(sc.transform_row(&[3.0, 2.0]).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn transform_row_panics_on_mismatch() {
+        let d = Dataset::new(vec![vec![1.0, 2.0]], vec![1.0]).unwrap();
+        Standardizer::fit(&d).transform_row(&[1.0]);
+    }
+}

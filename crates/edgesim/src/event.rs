@@ -1,0 +1,175 @@
+//! The simulation event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A scheduled simulation event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A message finishes arriving at the cloud.
+    ArriveAtCloud {
+        /// Originating device index.
+        device: usize,
+        /// Payload size in bytes (already accounted at send time).
+        bytes: u64,
+        /// What the message asks for.
+        kind: MessageKind,
+    },
+    /// A message finishes arriving at a device.
+    ArriveAtDevice {
+        /// Destination device index.
+        device: usize,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// What the message carries.
+        kind: MessageKind,
+    },
+    /// A compute job completes on a device.
+    DeviceComputeDone {
+        /// Device index.
+        device: usize,
+    },
+    /// A compute job completes on the cloud on behalf of a device.
+    CloudComputeDone {
+        /// Device the result belongs to.
+        device: usize,
+    },
+}
+
+/// The kinds of payloads exchanged between cloud and devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageKind {
+    /// A device asks the cloud for its DP prior.
+    PriorRequest,
+    /// The cloud ships the serialized mixture prior.
+    PriorPayload,
+    /// A device uploads its raw local samples.
+    RawData,
+    /// The cloud returns a trained model.
+    ModelPayload,
+}
+
+/// Min-heap of `(time, sequence, event)` with FIFO tie-breaking, so
+/// same-timestamp events pop in scheduling order and runs are
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; sequence breaks ties FIFO.
+        other
+            .time
+            .cmp(&self.time)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `event` at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Pops the earliest event (FIFO among equal timestamps).
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    fn at(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(at(30), Event::DeviceComputeDone { device: 3 });
+        q.schedule(at(10), Event::DeviceComputeDone { device: 1 });
+        q.schedule(at(20), Event::DeviceComputeDone { device: 2 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_micros()).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for device in 0..5 {
+            q.schedule(at(7), Event::DeviceComputeDone { device });
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::DeviceComputeDone { device } => device,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.schedule(at(1), Event::CloudComputeDone { device: 0 });
+        q.schedule(
+            at(2),
+            Event::ArriveAtCloud {
+                device: 0,
+                bytes: 10,
+                kind: MessageKind::PriorRequest,
+            },
+        );
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

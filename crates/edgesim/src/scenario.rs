@@ -1,0 +1,701 @@
+//! Scenario assembly and the event loop.
+
+use crate::event::{Event, EventQueue, MessageKind};
+use crate::{Link, SimDuration, SimTime};
+
+/// Deterministic compute-cost model.
+///
+/// Training cost is `coeff · samples · dim · iterations` floating-point
+/// operations, divided by the executor's effective FLOP rate. The absolute
+/// numbers are illustrative (experiments report ratios); the defaults put
+/// three orders of magnitude between a microcontroller-class device and a
+/// cloud server, matching the paper's motivation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComputeModel {
+    /// Effective device throughput in FLOP/s.
+    pub device_flops: f64,
+    /// Effective cloud throughput in FLOP/s (single job at a time; jobs
+    /// queue FIFO — cloud contention is part of the model).
+    pub cloud_flops: f64,
+    /// Cost coefficient of plain ERM training per sample·dim·iteration.
+    pub erm_cost: f64,
+    /// Cost coefficient of the DRO-EM training loop (dual evaluation plus
+    /// the prior quadratic) per sample·dim·iteration.
+    pub em_cost: f64,
+}
+
+impl Default for ComputeModel {
+    fn default() -> Self {
+        ComputeModel {
+            device_flops: 1e8,
+            cloud_flops: 1e11,
+            erm_cost: 20.0,
+            em_cost: 60.0,
+        }
+    }
+}
+
+impl ComputeModel {
+    fn train_flops(&self, coeff: f64, samples: usize, dim: usize, iterations: usize) -> f64 {
+        coeff * samples as f64 * dim as f64 * iterations.max(1) as f64
+    }
+
+    fn train_time(&self, coeff: f64, flops_per_sec: f64, samples: usize, dim: usize, iterations: usize) -> SimDuration {
+        SimDuration::from_secs_f64(self.train_flops(coeff, samples, dim, iterations) / flops_per_sec)
+    }
+}
+
+/// Device energy model: picojoules per floating-point operation and
+/// microjoules per byte over the radio.
+///
+/// Battery life — not latency — is the binding constraint on many IoT
+/// devices, and the radio typically costs orders of magnitude more energy
+/// per byte than the ALU costs per FLOP. The defaults are
+/// microcontroller-class ballparks (100 pJ/FLOP compute, 2 µJ/byte radio);
+/// experiments report ratios.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Device compute energy per floating-point operation, in joules.
+    pub joules_per_flop: f64,
+    /// Device radio energy per byte (sent or received), in joules.
+    pub joules_per_byte: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            joules_per_flop: 100e-12,
+            joules_per_byte: 2e-6,
+        }
+    }
+}
+
+/// What a device does in the scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Train locally on the device; no communication.
+    EdgeOnly {
+        /// Local sample count.
+        samples: usize,
+        /// Feature dimension.
+        dim: usize,
+        /// Optimizer iterations.
+        iterations: usize,
+    },
+    /// Upload raw samples, train in the cloud (FIFO-queued), download the
+    /// model.
+    CloudRoundTrip {
+        /// Local sample count (uploaded).
+        samples: usize,
+        /// Feature dimension.
+        dim: usize,
+        /// Optimizer iterations (on the cloud).
+        iterations: usize,
+    },
+    /// The paper's pipeline: fetch the precomputed DP prior, then run the
+    /// DRO-EM training loop locally.
+    PriorTransfer {
+        /// Local sample count.
+        samples: usize,
+        /// Feature dimension.
+        dim: usize,
+        /// Inner-solver iterations per EM round.
+        iterations: usize,
+        /// EM rounds.
+        em_rounds: usize,
+        /// Serialized prior size in bytes (from
+        /// `MixturePrior::serialized_size_bytes`).
+        prior_bytes: u64,
+    },
+}
+
+/// One device: its link to the cloud and its strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceSpec {
+    /// Link between this device and the cloud.
+    pub link: Link,
+    /// What the device does.
+    pub strategy: Strategy,
+}
+
+/// Per-device outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceReport {
+    /// Bytes the device sent to the cloud.
+    pub bytes_sent: u64,
+    /// Bytes the device received from the cloud.
+    pub bytes_received: u64,
+    /// Simulated time at which the device's model was ready.
+    pub completion: SimTime,
+    /// Device-side compute energy spent, in joules.
+    pub compute_joules: f64,
+    /// Device-side radio energy spent, in joules.
+    pub radio_joules: f64,
+}
+
+impl DeviceReport {
+    /// Total device-side energy (compute + radio), in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.compute_joules + self.radio_joules
+    }
+}
+
+/// Whole-scenario outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Per-device outcomes, in device order.
+    pub devices: Vec<DeviceReport>,
+    /// Total bytes crossing the network in either direction.
+    pub total_bytes: u64,
+    /// Time the last device finished.
+    pub makespan: SimTime,
+    /// Total time the cloud spent computing.
+    pub cloud_busy: SimDuration,
+}
+
+/// Size in bytes of a raw-sample upload: `n·d` features + `n` labels, 8
+/// bytes each.
+pub fn raw_data_bytes(samples: usize, dim: usize) -> u64 {
+    8 * (samples as u64) * (dim as u64 + 1)
+}
+
+/// Size in bytes of a packed linear model (`d` weights + bias).
+pub fn model_bytes(dim: usize) -> u64 {
+    8 * (dim as u64 + 1)
+}
+
+/// Size in bytes of a prior request message.
+pub const REQUEST_BYTES: u64 = 64;
+
+/// A cloud–edge deployment scenario over a star topology.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    compute: ComputeModel,
+    energy: EnergyModel,
+    devices: Vec<DeviceSpec>,
+}
+
+impl Scenario {
+    /// Creates an empty scenario with the given compute model and the
+    /// default [`EnergyModel`].
+    pub fn new(compute: ComputeModel) -> Self {
+        Scenario {
+            compute,
+            energy: EnergyModel::default(),
+            devices: Vec::new(),
+        }
+    }
+
+    /// Overrides the device energy model.
+    pub fn with_energy(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Adds a device; returns its index.
+    pub fn add_device(&mut self, spec: DeviceSpec) -> usize {
+        self.devices.push(spec);
+        self.devices.len() - 1
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Runs the scenario to completion and reports per-device and aggregate
+    /// outcomes. Deterministic: same scenario, same report.
+    pub fn run(&self) -> SimReport {
+        let mut queue = EventQueue::new();
+        let mut reports: Vec<DeviceReport> = self
+            .devices
+            .iter()
+            .map(|_| DeviceReport {
+                bytes_sent: 0,
+                bytes_received: 0,
+                completion: SimTime::ZERO,
+                compute_joules: 0.0,
+                radio_joules: 0.0,
+            })
+            .collect();
+        let mut cloud_busy_until = SimTime::ZERO;
+        let mut cloud_busy = SimDuration::ZERO;
+
+        // Kick off every device at t = 0.
+        for (i, spec) in self.devices.iter().enumerate() {
+            match spec.strategy {
+                Strategy::EdgeOnly {
+                    samples,
+                    dim,
+                    iterations,
+                } => {
+                    let t = self.compute.train_time(
+                        self.compute.erm_cost,
+                        self.compute.device_flops,
+                        samples,
+                        dim,
+                        iterations,
+                    );
+                    reports[i].compute_joules += self.energy.joules_per_flop
+                        * self.compute.train_flops(self.compute.erm_cost, samples, dim, iterations);
+                    queue.schedule(SimTime::ZERO + t, Event::DeviceComputeDone { device: i });
+                }
+                Strategy::CloudRoundTrip { samples, dim, .. } => {
+                    let bytes = raw_data_bytes(samples, dim);
+                    reports[i].bytes_sent += bytes;
+                    reports[i].radio_joules += self.energy.joules_per_byte * bytes as f64;
+                    queue.schedule(
+                        SimTime::ZERO + spec.link.transfer_time(bytes),
+                        Event::ArriveAtCloud {
+                            device: i,
+                            bytes,
+                            kind: MessageKind::RawData,
+                        },
+                    );
+                }
+                Strategy::PriorTransfer { .. } => {
+                    reports[i].bytes_sent += REQUEST_BYTES;
+                    reports[i].radio_joules +=
+                        self.energy.joules_per_byte * REQUEST_BYTES as f64;
+                    queue.schedule(
+                        SimTime::ZERO + spec.link.transfer_time(REQUEST_BYTES),
+                        Event::ArriveAtCloud {
+                            device: i,
+                            bytes: REQUEST_BYTES,
+                            kind: MessageKind::PriorRequest,
+                        },
+                    );
+                }
+            }
+        }
+
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                Event::DeviceComputeDone { device } => {
+                    reports[device].completion = now;
+                }
+                Event::ArriveAtCloud { device, kind, .. } => {
+                    let spec = &self.devices[device];
+                    match kind {
+                        MessageKind::PriorRequest => {
+                            // Prior is precomputed; respond immediately.
+                            let Strategy::PriorTransfer { prior_bytes, .. } = spec.strategy
+                            else {
+                                unreachable!("prior request from non-prior strategy");
+                            };
+                            queue.schedule(
+                                now + spec.link.transfer_time(prior_bytes),
+                                Event::ArriveAtDevice {
+                                    device,
+                                    bytes: prior_bytes,
+                                    kind: MessageKind::PriorPayload,
+                                },
+                            );
+                        }
+                        MessageKind::RawData => {
+                            let Strategy::CloudRoundTrip {
+                                samples,
+                                dim,
+                                iterations,
+                            } = spec.strategy
+                            else {
+                                unreachable!("raw data from non-cloud strategy");
+                            };
+                            // FIFO single-server cloud.
+                            let start = now.max(cloud_busy_until);
+                            let t = self.compute.train_time(
+                                self.compute.erm_cost,
+                                self.compute.cloud_flops,
+                                samples,
+                                dim,
+                                iterations,
+                            );
+                            cloud_busy_until = start + t;
+                            cloud_busy = cloud_busy + t;
+                            queue.schedule(
+                                cloud_busy_until,
+                                Event::CloudComputeDone { device },
+                            );
+                        }
+                        MessageKind::PriorPayload | MessageKind::ModelPayload => {
+                            unreachable!("cloud cannot receive its own payload kinds")
+                        }
+                    }
+                }
+                Event::CloudComputeDone { device } => {
+                    let spec = &self.devices[device];
+                    let Strategy::CloudRoundTrip { dim, .. } = spec.strategy else {
+                        unreachable!("cloud compute for non-cloud strategy");
+                    };
+                    let bytes = model_bytes(dim);
+                    queue.schedule(
+                        now + spec.link.transfer_time(bytes),
+                        Event::ArriveAtDevice {
+                            device,
+                            bytes,
+                            kind: MessageKind::ModelPayload,
+                        },
+                    );
+                }
+                Event::ArriveAtDevice { device, bytes, kind } => {
+                    reports[device].bytes_received += bytes;
+                    reports[device].radio_joules += self.energy.joules_per_byte * bytes as f64;
+                    match kind {
+                        MessageKind::ModelPayload => {
+                            reports[device].completion = now;
+                        }
+                        MessageKind::PriorPayload => {
+                            let Strategy::PriorTransfer {
+                                samples,
+                                dim,
+                                iterations,
+                                em_rounds,
+                                ..
+                            } = self.devices[device].strategy
+                            else {
+                                unreachable!("prior payload for non-prior strategy");
+                            };
+                            let t = self.compute.train_time(
+                                self.compute.em_cost,
+                                self.compute.device_flops,
+                                samples,
+                                dim,
+                                iterations * em_rounds.max(1),
+                            );
+                            reports[device].compute_joules += self.energy.joules_per_flop
+                                * self.compute.train_flops(
+                                    self.compute.em_cost,
+                                    samples,
+                                    dim,
+                                    iterations * em_rounds.max(1),
+                                );
+                            queue.schedule(now + t, Event::DeviceComputeDone { device });
+                        }
+                        MessageKind::PriorRequest | MessageKind::RawData => {
+                            unreachable!("devices cannot receive request kinds")
+                        }
+                    }
+                }
+            }
+        }
+
+        let makespan = reports
+            .iter()
+            .map(|r| r.completion)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let total_bytes = reports
+            .iter()
+            .map(|r| r.bytes_sent + r.bytes_received)
+            .sum();
+        SimReport {
+            devices: reports,
+            total_bytes,
+            makespan,
+            cloud_busy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link::new_ms(20.0, 1e6) // 20 ms one-way, 1 MB/s
+    }
+
+    #[test]
+    fn edge_only_uses_no_network() {
+        let mut sc = Scenario::new(ComputeModel::default());
+        sc.add_device(DeviceSpec {
+            link: link(),
+            strategy: Strategy::EdgeOnly {
+                samples: 100,
+                dim: 10,
+                iterations: 100,
+            },
+        });
+        let r = sc.run();
+        assert_eq!(r.devices[0].bytes_sent, 0);
+        assert_eq!(r.devices[0].bytes_received, 0);
+        assert_eq!(r.total_bytes, 0);
+        assert_eq!(r.cloud_busy, SimDuration::ZERO);
+        // 20·100·10·100 = 2e6 flops at 1e8 flop/s = 20 ms.
+        assert_eq!(r.makespan.as_micros(), 20_000);
+    }
+
+    #[test]
+    fn cloud_round_trip_accounts_bytes_and_latency() {
+        let mut sc = Scenario::new(ComputeModel::default());
+        sc.add_device(DeviceSpec {
+            link: link(),
+            strategy: Strategy::CloudRoundTrip {
+                samples: 1000,
+                dim: 9,
+                iterations: 100,
+            },
+        });
+        let r = sc.run();
+        let up = raw_data_bytes(1000, 9); // 80 KB
+        let down = model_bytes(9);
+        assert_eq!(r.devices[0].bytes_sent, up);
+        assert_eq!(r.devices[0].bytes_received, down);
+        assert_eq!(r.total_bytes, up + down);
+        assert!(r.cloud_busy > SimDuration::ZERO);
+        // Completion ≥ two propagation legs plus the upload serialization.
+        assert!(r.makespan.as_micros() > 2 * 20_000 + 80_000);
+    }
+
+    #[test]
+    fn prior_transfer_moves_far_fewer_bytes_than_raw_upload() {
+        let samples = 500;
+        let dim = 16;
+        let prior_bytes = 8 * (4 + 4 * 16 + 4 * 16 * 17 / 2) as u64; // K=4 mixture
+        let mk = |strategy| {
+            let mut sc = Scenario::new(ComputeModel::default());
+            sc.add_device(DeviceSpec { link: link(), strategy });
+            sc.run()
+        };
+        let cloud = mk(Strategy::CloudRoundTrip {
+            samples,
+            dim,
+            iterations: 100,
+        });
+        let prior = mk(Strategy::PriorTransfer {
+            samples,
+            dim,
+            iterations: 100,
+            em_rounds: 5,
+            prior_bytes,
+        });
+        assert!(
+            prior.total_bytes * 5 < cloud.total_bytes,
+            "prior {} vs cloud {}",
+            prior.total_bytes,
+            cloud.total_bytes
+        );
+    }
+
+    #[test]
+    fn cloud_queueing_delays_grow_with_fleet_size() {
+        let completion_of_last = |n: usize| {
+            let mut sc = Scenario::new(ComputeModel {
+                cloud_flops: 1e8, // slow cloud to make queueing visible
+                ..ComputeModel::default()
+            });
+            for _ in 0..n {
+                sc.add_device(DeviceSpec {
+                    link: link(),
+                    strategy: Strategy::CloudRoundTrip {
+                        samples: 500,
+                        dim: 10,
+                        iterations: 100,
+                    },
+                });
+            }
+            sc.run().makespan
+        };
+        let one = completion_of_last(1);
+        let ten = completion_of_last(10);
+        assert!(
+            ten.as_micros() > one.as_micros() + 8 * 100_000,
+            "ten devices should queue: {one} vs {ten}"
+        );
+    }
+
+    #[test]
+    fn prior_transfer_scales_out_without_cloud_contention() {
+        let makespan = |n: usize| {
+            let mut sc = Scenario::new(ComputeModel::default());
+            for _ in 0..n {
+                sc.add_device(DeviceSpec {
+                    link: link(),
+                    strategy: Strategy::PriorTransfer {
+                        samples: 200,
+                        dim: 10,
+                        iterations: 50,
+                        em_rounds: 5,
+                        prior_bytes: 2048,
+                    },
+                });
+            }
+            sc.run().makespan
+        };
+        // Devices are independent: makespan does not grow with fleet size.
+        assert_eq!(makespan(1), makespan(20));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut sc = Scenario::new(ComputeModel::default());
+        for i in 0..7 {
+            sc.add_device(DeviceSpec {
+                link: Link::new_ms(5.0 + i as f64, 5e5),
+                strategy: if i % 2 == 0 {
+                    Strategy::CloudRoundTrip {
+                        samples: 300 + i,
+                        dim: 8,
+                        iterations: 80,
+                    }
+                } else {
+                    Strategy::PriorTransfer {
+                        samples: 100,
+                        dim: 8,
+                        iterations: 40,
+                        em_rounds: 4,
+                        prior_bytes: 1024,
+                    }
+                },
+            });
+        }
+        assert_eq!(sc.num_devices(), 7);
+        let a = sc.run();
+        let b = sc.run();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.makespan,
+            a.devices.iter().map(|d| d.completion).max().unwrap()
+        );
+    }
+
+    #[test]
+    fn energy_accounting_follows_the_strategy() {
+        let energy = EnergyModel {
+            joules_per_flop: 1e-9,
+            joules_per_byte: 1e-6,
+        };
+        let mk = |strategy| {
+            let mut sc = Scenario::new(ComputeModel::default()).with_energy(energy);
+            sc.add_device(DeviceSpec { link: link(), strategy });
+            sc.run().devices[0]
+        };
+        // Edge-only: all compute, no radio.
+        let edge = mk(Strategy::EdgeOnly {
+            samples: 100,
+            dim: 10,
+            iterations: 100,
+        });
+        assert_eq!(edge.radio_joules, 0.0);
+        // 20·100·10·100 = 2e6 flops × 1e-9 J = 2 mJ.
+        assert!((edge.compute_joules - 2e-3).abs() < 1e-12);
+        assert_eq!(edge.total_joules(), edge.compute_joules);
+
+        // Cloud round trip: all radio, no device compute.
+        let cloud = mk(Strategy::CloudRoundTrip {
+            samples: 100,
+            dim: 10,
+            iterations: 100,
+        });
+        assert_eq!(cloud.compute_joules, 0.0);
+        let bytes = raw_data_bytes(100, 10) + model_bytes(10);
+        assert!((cloud.radio_joules - bytes as f64 * 1e-6).abs() < 1e-12);
+
+        // Prior transfer: both, with radio far below the raw upload.
+        let prior = mk(Strategy::PriorTransfer {
+            samples: 100,
+            dim: 10,
+            iterations: 100,
+            em_rounds: 5,
+            prior_bytes: 1000,
+        });
+        assert!(prior.compute_joules > 0.0);
+        assert!(prior.radio_joules < cloud.radio_joules / 5.0);
+        assert!(
+            (prior.radio_joules - (REQUEST_BYTES + 1000) as f64 * 1e-6).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn default_energy_model_is_radio_dominated_per_unit() {
+        let e = EnergyModel::default();
+        // One byte costs as much as ~20k FLOPs — the IoT radio/compute gap.
+        assert!(e.joules_per_byte / e.joules_per_flop > 1e4);
+    }
+
+    #[test]
+    fn random_scenarios_satisfy_aggregate_invariants() {
+        // Selective imports: proptest's prelude exports a `Strategy` trait
+        // that would shadow the simulator's `Strategy` enum.
+        use proptest::prelude::{prop_assert, prop_assert_eq};
+        use proptest::strategy::Strategy as _;
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let strategy_gen = (0u8..3, 10usize..500, 1usize..32, 1usize..200, 1u64..100_000)
+            .prop_map(|(kind, samples, dim, iterations, prior_bytes)| match kind {
+                0 => Strategy::EdgeOnly {
+                    samples,
+                    dim,
+                    iterations,
+                },
+                1 => Strategy::CloudRoundTrip {
+                    samples,
+                    dim,
+                    iterations,
+                },
+                _ => Strategy::PriorTransfer {
+                    samples,
+                    dim,
+                    iterations,
+                    em_rounds: 1 + iterations % 10,
+                    prior_bytes,
+                },
+            });
+        let fleet_gen = proptest::collection::vec(
+            (strategy_gen, 0.1..100.0f64, 1e3..1e7f64),
+            1..12,
+        );
+        runner
+            .run(&fleet_gen, |fleet| {
+                let mut sc = Scenario::new(ComputeModel::default());
+                for (strategy, latency_ms, bw) in &fleet {
+                    sc.add_device(DeviceSpec {
+                        link: Link::new_ms(*latency_ms, *bw),
+                        strategy: *strategy,
+                    });
+                }
+                let report = sc.run();
+                // Makespan is the latest completion.
+                let max_completion = report
+                    .devices
+                    .iter()
+                    .map(|d| d.completion)
+                    .max()
+                    .unwrap();
+                prop_assert_eq!(report.makespan, max_completion);
+                // Bytes are additive and strategy-consistent.
+                let sum: u64 = report
+                    .devices
+                    .iter()
+                    .map(|d| d.bytes_sent + d.bytes_received)
+                    .sum();
+                prop_assert_eq!(report.total_bytes, sum);
+                for (d, (strategy, ..)) in report.devices.iter().zip(&fleet) {
+                    prop_assert!(d.completion > SimTime::ZERO);
+                    prop_assert!(d.compute_joules >= 0.0 && d.radio_joules >= 0.0);
+                    match strategy {
+                        Strategy::EdgeOnly { .. } => {
+                            prop_assert_eq!(d.bytes_sent + d.bytes_received, 0)
+                        }
+                        Strategy::CloudRoundTrip { samples, dim, .. } => {
+                            prop_assert_eq!(d.bytes_sent, raw_data_bytes(*samples, *dim));
+                            prop_assert_eq!(d.bytes_received, model_bytes(*dim));
+                        }
+                        Strategy::PriorTransfer { prior_bytes, .. } => {
+                            prop_assert_eq!(d.bytes_sent, REQUEST_BYTES);
+                            prop_assert_eq!(d.bytes_received, *prior_bytes);
+                        }
+                    }
+                }
+                // Determinism.
+                prop_assert_eq!(sc.run(), report);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn byte_size_helpers() {
+        assert_eq!(raw_data_bytes(10, 4), 8 * 10 * 5);
+        assert_eq!(model_bytes(4), 40);
+    }
+}

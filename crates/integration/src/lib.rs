@@ -1,0 +1,17 @@
+//! Anchor crate wiring the repository-root `tests/` (workspace-spanning
+//! integration tests) and `examples/` (runnable binaries) into cargo.
+//!
+//! It re-exports the workspace's public surface so integration tests and
+//! examples can use one import root.
+
+#![forbid(unsafe_code)]
+
+pub use dre_bayes as bayes;
+pub use dre_data as data;
+pub use dre_edgesim as edgesim;
+pub use dre_linalg as linalg;
+pub use dre_models as models;
+pub use dre_optim as optim;
+pub use dre_prob as prob;
+pub use dre_robust as robust;
+pub use dro_edge as core;

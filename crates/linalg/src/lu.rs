@@ -1,0 +1,251 @@
+//! LU factorization with partial pivoting.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// LU factorization `P·A = L·U` with partial pivoting.
+///
+/// Used for solving general (possibly non-symmetric) square systems and for
+/// signed determinants. For symmetric positive-definite systems prefer
+/// [`crate::Cholesky`], which is twice as fast and more stable.
+///
+/// # Example
+///
+/// ```
+/// use dre_linalg::{Matrix, Lu};
+///
+/// # fn main() -> Result<(), dre_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]])?;
+/// let lu = Lu::new(&a)?;
+/// let x = lu.solve(&[2.0, 2.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors: strictly-lower part of L (unit diagonal implied)
+    /// and upper part U.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1 or −1), for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN/inf.
+    /// * [`LinalgError::Singular`] if a zero pivot column is found.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { op: "lu" });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at/below row k.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < f64::EPSILON * (n as f64) {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                perm.swap(p, k);
+                sign = -sign;
+                for c in 0..n {
+                    let tmp = lu[(k, c)];
+                    lu[(k, c)] = lu[(p, c)];
+                    lu[(p, c)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let m = lu[(i, k)] / pivot;
+                lu[(i, k)] = m;
+                for c in (k + 1)..n {
+                    let delta = m * lu[(k, c)];
+                    lu[(i, c)] -= delta;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::ShapeMismatch`] when `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation then forward/back substitution.
+        let mut y: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+            y[i] /= self.lu[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Signed determinant of `A`.
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Dense inverse `A⁻¹`.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e).expect("dimension invariant");
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&[3.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 3.0]);
+        assert!((lu.det() + 1.0).abs() < 1e-12); // swap matrix has det −1
+        assert_eq!(lu.dim(), 2);
+    }
+
+    #[test]
+    fn det_of_known_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_singular_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            Lu::new(&Matrix::zeros(2, 3)),
+            Err(LinalgError::NotSquare { .. })
+        ));
+        let mut a = Matrix::identity(2);
+        a[(1, 1)] = f64::INFINITY;
+        assert!(matches!(Lu::new(&a), Err(LinalgError::NonFinite { .. })));
+        let lu = Lu::new(&Matrix::identity(2)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn inverse_of_permuted_matrix() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0, 0.0], &[1.0, 0.0, 0.0], &[0.0, 0.0, 4.0]])
+            .unwrap();
+        let inv = Lu::new(&a).unwrap().inverse();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.sub(&Matrix::identity(3)).unwrap().frobenius_norm() < 1e-10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_roundtrip(
+            n in 1usize..5,
+            seed in proptest::collection::vec(-3.0..3.0f64, 30),
+        ) {
+            let data: Vec<f64> = seed.iter().cycle().take(n * n).cloned().collect();
+            let mut a = Matrix::from_vec(n, n, data).unwrap();
+            a.add_diag(5.0); // diagonally dominant => nonsingular
+            let lu = Lu::new(&a).unwrap();
+            let x_true: Vec<f64> = seed.iter().take(n).cloned().collect();
+            let b = a.matvec(&x_true).unwrap();
+            let x = lu.solve(&b).unwrap();
+            prop_assert!(crate::vector::max_abs_diff(&x, &x_true) < 1e-6);
+        }
+
+        #[test]
+        fn prop_lu_det_matches_cholesky_log_det_on_spd(
+            n in 1usize..5,
+            seed in proptest::collection::vec(-2.0..2.0f64, 30),
+        ) {
+            // Two independent factorizations must agree on the determinant.
+            let data: Vec<f64> = seed.iter().cycle().take(n * n).cloned().collect();
+            let b = Matrix::from_vec(n, n, data).unwrap();
+            let mut a = b.matmul(&b.transpose()).unwrap();
+            a.add_diag(1.0);
+            let lu_det = Lu::new(&a).unwrap().det();
+            let chol_log_det = crate::Cholesky::new(&a).unwrap().log_det();
+            prop_assert!(lu_det > 0.0);
+            prop_assert!((lu_det.ln() - chol_log_det).abs() < 1e-8 * (1.0 + chol_log_det.abs()));
+        }
+
+        #[test]
+        fn prop_det_multiplicative_with_transpose(
+            n in 1usize..5,
+            seed in proptest::collection::vec(-3.0..3.0f64, 30),
+        ) {
+            let data: Vec<f64> = seed.iter().cycle().take(n * n).cloned().collect();
+            let mut a = Matrix::from_vec(n, n, data).unwrap();
+            a.add_diag(5.0);
+            let da = Lu::new(&a).unwrap().det();
+            let dt = Lu::new(&a.transpose()).unwrap().det();
+            prop_assert!((da - dt).abs() <= 1e-6 * da.abs().max(1.0));
+        }
+    }
+}

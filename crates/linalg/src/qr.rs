@@ -1,0 +1,262 @@
+//! Householder QR factorization and least squares.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// QR factorization `A = Q·R` via Householder reflections, for `m ≥ n`
+/// matrices.
+///
+/// The main consumer is least-squares fitting ([`Qr::solve_least_squares`]),
+/// used by the ridge-regression baselines.
+///
+/// # Example
+///
+/// ```
+/// use dre_linalg::{Matrix, Qr};
+///
+/// # fn main() -> Result<(), dre_linalg::LinalgError> {
+/// // Overdetermined: fit y = 2x exactly.
+/// let a = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]])?;
+/// let qr = Qr::new(&a)?;
+/// let x = qr.solve_least_squares(&[2.0, 4.0, 6.0])?;
+/// assert!((x[0] - 2.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors stored below the diagonal; R on/above it.
+    qr: Matrix,
+    /// Householder scalar coefficients τ.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factorizes an `m × n` matrix with `m ≥ n`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::InvalidDimension`] if `m < n` or the matrix is empty.
+    /// * [`LinalgError::NonFinite`] if `a` contains NaN/inf.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n || n == 0 {
+            return Err(LinalgError::InvalidDimension { op: "qr", dim: m });
+        }
+        if !a.is_finite() {
+            return Err(LinalgError::NonFinite { op: "qr" });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+        for k in 0..n {
+            // Householder vector for column k below the diagonal.
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                norm_sq += qr[(i, k)] * qr[(i, k)];
+            }
+            let norm = norm_sq.sqrt();
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = (v0, a[k+1..m, k]); normalize so v[0] = 1.
+            let mut vnorm_sq = v0 * v0;
+            for i in (k + 1)..m {
+                vnorm_sq += qr[(i, k)] * qr[(i, k)];
+            }
+            if vnorm_sq == 0.0 {
+                tau[k] = 0.0;
+                qr[(k, k)] = alpha;
+                continue;
+            }
+            tau[k] = 2.0 * v0 * v0 / vnorm_sq;
+            // Store normalized v (v/v0) below the diagonal.
+            for i in (k + 1)..m {
+                qr[(i, k)] /= v0;
+            }
+            qr[(k, k)] = alpha;
+            // Apply H = I − τ v vᵀ to remaining columns.
+            for c in (k + 1)..n {
+                let mut s = qr[(k, c)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, c)];
+                }
+                s *= tau[k];
+                qr[(k, c)] -= s;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, c)] -= s * vik;
+                }
+            }
+        }
+        Ok(Qr { qr, tau })
+    }
+
+    /// Number of rows of the original matrix.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the original matrix.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// Applies `Qᵀ` to a vector of length `m`, in place.
+    fn apply_qt(&self, b: &mut [f64]) {
+        let (m, n) = self.qr.shape();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut s = b[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * b[i];
+            }
+            s *= self.tau[k];
+            b[k] -= s;
+            for i in (k + 1)..m {
+                b[i] -= s * self.qr[(i, k)];
+            }
+        }
+    }
+
+    /// Solves the least-squares problem `min_x ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] when `b.len() != self.rows()`.
+    /// * [`LinalgError::Singular`] when `R` has a zero diagonal entry
+    ///   (rank-deficient `A`).
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut y = b.to_vec();
+        self.apply_qt(&mut y);
+        // Back-substitute R x = y[..n]. Singularity is judged relative to
+        // the largest diagonal magnitude of R (scale-invariant).
+        let rmax = (0..n).fold(0.0f64, |acc, i| acc.max(self.qr[(i, i)].abs()));
+        let tol = f64::EPSILON * (m as f64) * rmax.max(f64::MIN_POSITIVE);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.qr[(i, k)] * x[k];
+            }
+            let rii = self.qr[(i, i)];
+            if rii.abs() <= tol {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = s / rii;
+        }
+        Ok(x)
+    }
+
+    /// The upper-triangular factor `R` (top `n × n` block).
+    pub fn r(&self) -> Matrix {
+        let n = self.qr.cols();
+        let mut r = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                r[(i, j)] = self.qr[(i, j)];
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_solve_square_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]).unwrap();
+        let x_true = vec![1.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!(crate::vector::max_abs_diff(&x, &x_true) < 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_least_squares_matches_normal_equations() {
+        // Fit y = 1 + 2x with noiseless data (exactly recoverable).
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&x| vec![1.0, x]).collect();
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let a = Matrix::from_rows(&row_refs).unwrap();
+        let b: Vec<f64> = xs.iter().map(|&x| 1.0 + 2.0 * x).collect();
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.5],
+            &[1.0, 1.5],
+            &[1.0, 2.5],
+            &[1.0, 4.0],
+        ])
+        .unwrap();
+        let b = vec![1.0, 2.0, 2.5, 5.0];
+        let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let r = crate::vector::sub(&b, &ax);
+        // A^T r == 0 at the least-squares solution.
+        let atr = a.matvec_t(&r).unwrap();
+        assert!(crate::vector::norm_inf(&atr) < 1e-9);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let r = qr.r();
+        assert_eq!(r[(1, 0)], 0.0);
+        assert_eq!(qr.rows(), 3);
+        assert_eq!(qr.cols(), 2);
+    }
+
+    #[test]
+    fn rejects_underdetermined_and_rank_deficient() {
+        assert!(Qr::new(&Matrix::zeros(2, 3)).is_err());
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+        let mut nf = Matrix::identity(2);
+        nf[(0, 0)] = f64::NAN;
+        assert!(matches!(Qr::new(&nf), Err(LinalgError::NonFinite { .. })));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_square_qr_solves_exactly(
+            n in 1usize..5,
+            seed in proptest::collection::vec(-3.0..3.0f64, 30),
+        ) {
+            let data: Vec<f64> = seed.iter().cycle().take(n * n).cloned().collect();
+            let mut a = Matrix::from_vec(n, n, data).unwrap();
+            a.add_diag(5.0);
+            let x_true: Vec<f64> = seed.iter().take(n).cloned().collect();
+            let b = a.matvec(&x_true).unwrap();
+            let x = Qr::new(&a).unwrap().solve_least_squares(&b).unwrap();
+            prop_assert!(crate::vector::max_abs_diff(&x, &x_true) < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Linear binary classifier.
+
+/// A linear binary classifier `f(x) = wᵀx + b` with labels `±1`.
+///
+/// The packed parameter layout `[w₀, …, w_{d−1}, b]` is the convention every
+/// objective in the workspace optimizes over, so models round-trip to and
+/// from solver iterates via [`LinearModel::from_packed`] /
+/// [`LinearModel::to_packed`].
+///
+/// # Example
+///
+/// ```
+/// use dre_models::LinearModel;
+///
+/// let m = LinearModel::new(vec![1.0, -1.0], 0.5);
+/// assert_eq!(m.predict(&[2.0, 0.0]), 1.0);
+/// assert!(m.predict_proba(&[2.0, 0.0]) > 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearModel {
+    /// Creates a model from weights and bias.
+    pub fn new(weights: Vec<f64>, bias: f64) -> Self {
+        LinearModel { weights, bias }
+    }
+
+    /// The zero model in `d` dimensions (predicts `+1` everywhere by the
+    /// sign convention `sign(0) = +1`).
+    pub fn zeros(d: usize) -> Self {
+        LinearModel {
+            weights: vec![0.0; d],
+            bias: 0.0,
+        }
+    }
+
+    /// Unpacks a solver iterate laid out as `[w…, b]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `packed` is empty.
+    pub fn from_packed(packed: &[f64]) -> Self {
+        assert!(!packed.is_empty(), "packed parameters must include a bias");
+        LinearModel {
+            weights: packed[..packed.len() - 1].to_vec(),
+            bias: packed[packed.len() - 1],
+        }
+    }
+
+    /// Packs the parameters as `[w…, b]` for the solvers.
+    pub fn to_packed(&self) -> Vec<f64> {
+        let mut p = self.weights.clone();
+        p.push(self.bias);
+        p
+    }
+
+    /// Feature dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Weight vector `w`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Bias `b`.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Decision value `wᵀx + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.dim()`.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        dre_linalg::vector::dot(&self.weights, x) + self.bias
+    }
+
+    /// Predicted label `sign(wᵀx + b) ∈ {−1, +1}` (`+1` on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.dim()`.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.decision(x) >= 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Probability of the `+1` label under the logistic link
+    /// `σ(wᵀx + b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.dim()`.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        let z = self.decision(x);
+        if z >= 0.0 {
+            1.0 / (1.0 + (-z).exp())
+        } else {
+            let e = z.exp();
+            e / (1.0 + e)
+        }
+    }
+
+    /// Classification margin `y·(wᵀx + b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.dim()`.
+    pub fn margin(&self, x: &[f64], y: f64) -> f64 {
+        y * self.decision(x)
+    }
+
+    /// ℓ2 norm of the weight vector (excluding the bias) — the Lipschitz
+    /// modulus of the decision function in `x`, used by the DRO duality.
+    pub fn weight_norm(&self) -> f64 {
+        dre_linalg::vector::norm2(&self.weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_roundtrip() {
+        let m = LinearModel::new(vec![1.0, 2.0, 3.0], -0.5);
+        let p = m.to_packed();
+        assert_eq!(p, vec![1.0, 2.0, 3.0, -0.5]);
+        assert_eq!(LinearModel::from_packed(&p), m);
+        assert_eq!(m.dim(), 3);
+        assert_eq!(m.weights(), &[1.0, 2.0, 3.0]);
+        assert_eq!(m.bias(), -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bias")]
+    fn from_packed_rejects_empty() {
+        LinearModel::from_packed(&[]);
+    }
+
+    #[test]
+    fn decision_and_prediction() {
+        let m = LinearModel::new(vec![2.0, -1.0], 1.0);
+        assert_eq!(m.decision(&[1.0, 1.0]), 2.0);
+        assert_eq!(m.predict(&[1.0, 1.0]), 1.0);
+        assert_eq!(m.predict(&[-1.0, 1.0]), -1.0);
+        assert_eq!(m.margin(&[1.0, 1.0], -1.0), -2.0);
+        // Tie goes to +1.
+        assert_eq!(m.predict(&[0.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn probabilities_are_calibrated_sigmoid() {
+        let m = LinearModel::new(vec![1.0], 0.0);
+        assert!((m.predict_proba(&[0.0]) - 0.5).abs() < 1e-12);
+        assert!(m.predict_proba(&[10.0]) > 0.9999);
+        assert!(m.predict_proba(&[-10.0]) < 0.0001);
+        // Stable at extreme decision values.
+        assert_eq!(m.predict_proba(&[1000.0]), 1.0);
+        assert!(m.predict_proba(&[-1000.0]) >= 0.0);
+    }
+
+    #[test]
+    fn zero_model() {
+        let m = LinearModel::zeros(4);
+        assert_eq!(m.dim(), 4);
+        assert_eq!(m.predict(&[1.0, 2.0, 3.0, 4.0]), 1.0);
+        assert_eq!(m.weight_norm(), 0.0);
+    }
+
+    #[test]
+    fn weight_norm_excludes_bias() {
+        let m = LinearModel::new(vec![3.0, 4.0], 100.0);
+        assert_eq!(m.weight_norm(), 5.0);
+    }
+}

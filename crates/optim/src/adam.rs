@@ -1,0 +1,206 @@
+//! The Adam adaptive first-order optimizer.
+
+use crate::{Objective, OptimError, OptimReport, Result, StopCriteria};
+
+/// Adam (Kingma & Ba 2015) with bias-corrected first and second moments.
+///
+/// Used by the workspace's non-convex baselines; for the convex M-step
+/// prefer [`crate::Lbfgs`], which exploits curvature.
+///
+/// # Example
+///
+/// ```
+/// use dre_optim::{Adam, FnObjective, StopCriteria};
+///
+/// let obj = FnObjective::new(1, |x: &[f64]| (x[0] * x[0], vec![2.0 * x[0]]));
+/// let r = Adam::new(StopCriteria::with_max_iters(2000), 0.05)
+///     .unwrap()
+///     .minimize(&obj, &[4.0])
+///     .unwrap();
+/// assert!(r.x[0].abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    stop: StopCriteria,
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+}
+
+impl Adam {
+    /// Creates an Adam solver with learning rate `lr` and the standard
+    /// moment coefficients `β₁ = 0.9`, `β₂ = 0.999`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidParameter`] when `lr ≤ 0`.
+    pub fn new(stop: StopCriteria, lr: f64) -> Result<Self> {
+        if !(lr > 0.0 && lr.is_finite()) {
+            return Err(OptimError::InvalidParameter {
+                param: "lr",
+                value: lr,
+            });
+        }
+        Ok(Adam {
+            stop,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        })
+    }
+
+    /// Overrides the moment coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidParameter`] when either coefficient is
+    /// outside `[0, 1)`.
+    pub fn with_betas(mut self, beta1: f64, beta2: f64) -> Result<Self> {
+        for (name, v) in [("beta1", beta1), ("beta2", beta2)] {
+            if !(0.0..1.0).contains(&v) {
+                return Err(OptimError::InvalidParameter {
+                    param: name,
+                    value: v,
+                });
+            }
+        }
+        self.beta1 = beta1;
+        self.beta2 = beta2;
+        Ok(self)
+    }
+
+    /// Minimizes `obj` from `x0`.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptimError::DimensionMismatch`] when `x0.len() != obj.dim()`.
+    /// * [`OptimError::NonFiniteObjective`] when the objective degenerates.
+    pub fn minimize<O: Objective + ?Sized>(&self, obj: &O, x0: &[f64]) -> Result<OptimReport> {
+        if x0.len() != obj.dim() {
+            return Err(OptimError::DimensionMismatch {
+                expected: obj.dim(),
+                got: x0.len(),
+            });
+        }
+        let d = x0.len();
+        let mut x = x0.to_vec();
+        let mut m = vec![0.0; d];
+        let mut v = vec![0.0; d];
+        let (mut fx, mut g) = obj.value_and_gradient(&x);
+        if !fx.is_finite() {
+            return Err(OptimError::NonFiniteObjective { iteration: 0 });
+        }
+        let mut trace = vec![fx];
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for iter in 0..self.stop.max_iters {
+            iterations = iter + 1;
+            if dre_linalg::vector::norm_inf(&g) <= self.stop.grad_tol {
+                converged = true;
+                iterations = iter;
+                break;
+            }
+            let t = (iter + 1) as i32;
+            let bc1 = 1.0 - self.beta1.powi(t);
+            let bc2 = 1.0 - self.beta2.powi(t);
+            for i in 0..d {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let mhat = m[i] / bc1;
+                let vhat = v[i] / bc2;
+                x[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            let prev = fx;
+            (fx, g) = obj.value_and_gradient(&x);
+            if !fx.is_finite() {
+                return Err(OptimError::NonFiniteObjective { iteration: iter });
+            }
+            trace.push(fx);
+            if (prev - fx).abs() <= self.stop.f_tol {
+                converged = true;
+                break;
+            }
+        }
+        Ok(OptimReport {
+            grad_norm: dre_linalg::vector::norm_inf(&g),
+            value: fx,
+            x,
+            iterations,
+            converged,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnObjective;
+
+    #[test]
+    fn validates_parameters() {
+        assert!(Adam::new(StopCriteria::default(), 0.0).is_err());
+        assert!(Adam::new(StopCriteria::default(), f64::NAN).is_err());
+        let a = Adam::new(StopCriteria::default(), 0.1).unwrap();
+        assert!(a.clone().with_betas(1.0, 0.9).is_err());
+        assert!(a.clone().with_betas(0.9, -0.1).is_err());
+        assert!(a.with_betas(0.8, 0.99).is_ok());
+    }
+
+    #[test]
+    fn minimizes_ill_conditioned_quadratic() {
+        // f = x₀² + 100·x₁².
+        let obj = FnObjective::new(2, |x: &[f64]| {
+            (
+                x[0] * x[0] + 100.0 * x[1] * x[1],
+                vec![2.0 * x[0], 200.0 * x[1]],
+            )
+        });
+        let r = Adam::new(StopCriteria::with_max_iters(5000), 0.1)
+            .unwrap()
+            .minimize(&obj, &[5.0, 5.0])
+            .unwrap();
+        assert!(r.value < 1e-6, "value {}", r.value);
+    }
+
+    #[test]
+    fn makes_progress_on_rosenbrock() {
+        let obj = FnObjective::new(2, |x: &[f64]| {
+            let (a, b) = (1.0 - x[0], x[1] - x[0] * x[0]);
+            (
+                a * a + 100.0 * b * b,
+                vec![-2.0 * a - 400.0 * x[0] * b, 200.0 * b],
+            )
+        });
+        let r = Adam::new(
+            StopCriteria {
+                max_iters: 20_000,
+                f_tol: 0.0,
+                grad_tol: 1e-10,
+            },
+            0.01,
+        )
+        .unwrap()
+        .minimize(&obj, &[-1.2, 1.0])
+        .unwrap();
+        assert!(r.value < 1e-3, "value {}", r.value);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let obj = FnObjective::new(2, |x: &[f64]| (x[0], vec![1.0, 0.0]));
+        let a = Adam::new(StopCriteria::default(), 0.1).unwrap();
+        assert!(matches!(
+            a.minimize(&obj, &[0.0]),
+            Err(OptimError::DimensionMismatch { .. })
+        ));
+        let bad = FnObjective::new(1, |_: &[f64]| (f64::INFINITY, vec![0.0]));
+        assert!(matches!(
+            a.minimize(&bad, &[0.0]),
+            Err(OptimError::NonFiniteObjective { .. })
+        ));
+    }
+}

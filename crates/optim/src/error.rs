@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors produced by the optimization solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OptimError {
+    /// The starting point's dimension differs from the objective's.
+    DimensionMismatch {
+        /// Objective dimension.
+        expected: usize,
+        /// Starting point dimension.
+        got: usize,
+    },
+    /// The objective or gradient produced NaN/inf at some iterate.
+    NonFiniteObjective {
+        /// Iteration at which the failure occurred.
+        iteration: usize,
+    },
+    /// A line search failed to find an acceptable step.
+    LineSearchFailed {
+        /// Iteration at which the failure occurred.
+        iteration: usize,
+    },
+    /// A solver parameter was out of its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        param: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for OptimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: objective has {expected}, start has {got}")
+            }
+            OptimError::NonFiniteObjective { iteration } => {
+                write!(f, "non-finite objective value at iteration {iteration}")
+            }
+            OptimError::LineSearchFailed { iteration } => {
+                write!(f, "line search failed at iteration {iteration}")
+            }
+            OptimError::InvalidParameter { param, value } => {
+                write!(f, "invalid solver parameter {param}={value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(OptimError::DimensionMismatch { expected: 2, got: 3 }
+            .to_string()
+            .contains("2"));
+        assert!(OptimError::NonFiniteObjective { iteration: 7 }
+            .to_string()
+            .contains("7"));
+        assert!(OptimError::LineSearchFailed { iteration: 3 }
+            .to_string()
+            .contains("line search"));
+        assert!(OptimError::InvalidParameter { param: "lr", value: -1.0 }
+            .to_string()
+            .contains("lr"));
+    }
+}

@@ -1,0 +1,250 @@
+//! Line searches: Armijo backtracking and strong Wolfe.
+
+use crate::Objective;
+
+/// Result of a successful line search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineSearchResult {
+    /// Accepted step length `t`.
+    pub step: f64,
+    /// Objective value at `x + t·p`.
+    pub value: f64,
+}
+
+/// Armijo backtracking: starting from `t0`, halves the step until
+/// `f(x + t·p) ≤ f(x) + c₁·t·gᵀp`.
+///
+/// Returns `None` when no acceptable step is found within 60 halvings
+/// (which, from `t0 = 1`, reaches steps below 1e-18 — effectively a
+/// non-descent direction or a non-finite objective).
+pub fn backtracking<O: Objective + ?Sized>(
+    obj: &O,
+    x: &[f64],
+    p: &[f64],
+    fx: f64,
+    grad_dot_p: f64,
+    t0: f64,
+    c1: f64,
+) -> Option<LineSearchResult> {
+    debug_assert!(c1 > 0.0 && c1 < 1.0);
+    if grad_dot_p >= 0.0 {
+        return None; // not a descent direction
+    }
+    let mut t = t0;
+    let mut trial = vec![0.0; x.len()];
+    let eval = |trial: &mut [f64], t: f64| {
+        for ((ti, &xi), &pi) in trial.iter_mut().zip(x.iter()).zip(p) {
+            *ti = xi + t * pi;
+        }
+        obj.value(trial)
+    };
+    for _ in 0..60 {
+        let f_trial = eval(&mut trial, t);
+        if f_trial.is_finite() && f_trial <= fx + c1 * t * grad_dot_p {
+            // Armijo alone can accept a near-"reflection" step (on a
+            // quadratic, t ≈ 2/λ satisfies it with an O(c₁) decrease while
+            // t/2 reaches the 1-D minimum). Keep halving while the value
+            // strictly improves so the search returns a step near the 1-D
+            // minimizer rather than the far edge of the Armijo region.
+            let mut best = LineSearchResult {
+                step: t,
+                value: f_trial,
+            };
+            for _ in 0..20 {
+                let half = best.step * 0.5;
+                let f_half = eval(&mut trial, half);
+                if f_half.is_finite() && f_half < best.value {
+                    best = LineSearchResult {
+                        step: half,
+                        value: f_half,
+                    };
+                } else {
+                    break;
+                }
+            }
+            return Some(best);
+        }
+        t *= 0.5;
+    }
+    None
+}
+
+/// Strong Wolfe line search (Nocedal & Wright, Algorithm 3.5/3.6).
+///
+/// Finds `t` with
+/// `f(x + t·p) ≤ f(x) + c₁·t·gᵀp` (sufficient decrease) and
+/// `|∇f(x + t·p)ᵀp| ≤ c₂·|gᵀp|` (curvature).
+///
+/// Returns `None` for non-descent directions or when bracketing fails.
+pub fn strong_wolfe<O: Objective + ?Sized>(
+    obj: &O,
+    x: &[f64],
+    p: &[f64],
+    fx: f64,
+    grad_dot_p: f64,
+    c1: f64,
+    c2: f64,
+) -> Option<LineSearchResult> {
+    debug_assert!(0.0 < c1 && c1 < c2 && c2 < 1.0);
+    if grad_dot_p >= 0.0 {
+        return None;
+    }
+    let phi = |t: f64| -> (f64, f64) {
+        let trial: Vec<f64> = x.iter().zip(p).map(|(&xi, &pi)| xi + t * pi).collect();
+        let (v, g) = obj.value_and_gradient(&trial);
+        (v, dre_linalg::vector::dot(&g, p))
+    };
+
+    let mut t_prev = 0.0;
+    let mut f_prev = fx;
+    let mut t = 1.0;
+    const T_MAX: f64 = 1e6;
+    for i in 0..30 {
+        let (f_t, g_t) = phi(t);
+        if !f_t.is_finite() {
+            // Step overshot into a bad region; treat as "too far".
+            return zoom(obj, x, p, fx, grad_dot_p, c1, c2, t_prev, f_prev, t);
+        }
+        if f_t > fx + c1 * t * grad_dot_p || (i > 0 && f_t >= f_prev) {
+            return zoom(obj, x, p, fx, grad_dot_p, c1, c2, t_prev, f_prev, t);
+        }
+        if g_t.abs() <= -c2 * grad_dot_p {
+            return Some(LineSearchResult { step: t, value: f_t });
+        }
+        if g_t >= 0.0 {
+            return zoom(obj, x, p, fx, grad_dot_p, c1, c2, t, f_t, t_prev);
+        }
+        t_prev = t;
+        f_prev = f_t;
+        t = (2.0 * t).min(T_MAX);
+    }
+    None
+}
+
+/// The `zoom` phase of the Wolfe search: bisect inside `[lo, hi]`.
+#[allow(clippy::too_many_arguments)]
+fn zoom<O: Objective + ?Sized>(
+    obj: &O,
+    x: &[f64],
+    p: &[f64],
+    fx: f64,
+    grad_dot_p: f64,
+    c1: f64,
+    c2: f64,
+    mut t_lo: f64,
+    mut f_lo: f64,
+    mut t_hi: f64,
+) -> Option<LineSearchResult> {
+    let phi = |t: f64| -> (f64, f64) {
+        let trial: Vec<f64> = x.iter().zip(p).map(|(&xi, &pi)| xi + t * pi).collect();
+        let (v, g) = obj.value_and_gradient(&trial);
+        (v, dre_linalg::vector::dot(&g, p))
+    };
+    for _ in 0..50 {
+        let t = 0.5 * (t_lo + t_hi);
+        let (f_t, g_t) = phi(t);
+        if !f_t.is_finite() || f_t > fx + c1 * t * grad_dot_p || f_t >= f_lo {
+            t_hi = t;
+        } else {
+            if g_t.abs() <= -c2 * grad_dot_p {
+                return Some(LineSearchResult { step: t, value: f_t });
+            }
+            if g_t * (t_hi - t_lo) >= 0.0 {
+                t_hi = t_lo;
+            }
+            t_lo = t;
+            f_lo = f_t;
+        }
+        if (t_hi - t_lo).abs() < 1e-16 {
+            break;
+        }
+    }
+    // Accept the best sufficient-decrease point found, if any.
+    if t_lo > 0.0 && f_lo <= fx + c1 * t_lo * grad_dot_p {
+        return Some(LineSearchResult {
+            step: t_lo,
+            value: f_lo,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnObjective;
+
+    fn parabola() -> FnObjective<impl Fn(&[f64]) -> (f64, Vec<f64>)> {
+        FnObjective::new(1, |x: &[f64]| ((x[0] - 2.0).powi(2), vec![2.0 * (x[0] - 2.0)]))
+    }
+
+    #[test]
+    fn backtracking_accepts_descent_step() {
+        let obj = parabola();
+        let x = [0.0];
+        let fx = obj.value(&x);
+        let p = [1.0]; // descent (gradient is −4)
+        let r = backtracking(&obj, &x, &p, fx, -4.0, 1.0, 1e-4).unwrap();
+        assert!(r.value < fx);
+        assert!(r.step > 0.0);
+    }
+
+    #[test]
+    fn backtracking_rejects_ascent_direction() {
+        let obj = parabola();
+        let x = [0.0];
+        let fx = obj.value(&x);
+        assert!(backtracking(&obj, &x, &[-1.0], fx, 4.0, 1.0, 1e-4).is_none());
+    }
+
+    #[test]
+    fn backtracking_shrinks_oversized_steps() {
+        let obj = parabola();
+        let x = [0.0];
+        let fx = obj.value(&x);
+        // Huge initial step must be halved until acceptable.
+        let r = backtracking(&obj, &x, &[1.0], fx, -4.0, 1e6, 1e-4).unwrap();
+        assert!(r.value < fx);
+        assert!(r.step < 1e6);
+    }
+
+    #[test]
+    fn wolfe_satisfies_both_conditions() {
+        let obj = parabola();
+        let x = [0.0];
+        let (fx, g) = obj.value_and_gradient(&x);
+        let p = [1.0];
+        let gdp = g[0] * p[0];
+        let (c1, c2) = (1e-4, 0.9);
+        let r = strong_wolfe(&obj, &x, &p, fx, gdp, c1, c2).unwrap();
+        // Check the two Wolfe conditions explicitly.
+        let xt = [x[0] + r.step * p[0]];
+        let (ft, gt) = obj.value_and_gradient(&xt);
+        assert!(ft <= fx + c1 * r.step * gdp + 1e-12);
+        assert!((gt[0] * p[0]).abs() <= -c2 * gdp + 1e-12);
+    }
+
+    #[test]
+    fn wolfe_rejects_ascent_direction() {
+        let obj = parabola();
+        let x = [0.0];
+        let fx = obj.value(&x);
+        assert!(strong_wolfe(&obj, &x, &[-1.0], fx, 4.0, 1e-4, 0.9).is_none());
+    }
+
+    #[test]
+    fn wolfe_handles_nonquadratic() {
+        // f(x) = x⁴ − 2x² (double well), start at x = 0.5 heading downhill.
+        let obj = FnObjective::new(1, |x: &[f64]| {
+            (
+                x[0].powi(4) - 2.0 * x[0] * x[0],
+                vec![4.0 * x[0].powi(3) - 4.0 * x[0]],
+            )
+        });
+        let x = [0.5];
+        let (fx, g) = obj.value_and_gradient(&x);
+        let p = [1.0];
+        let r = strong_wolfe(&obj, &x, &p, fx, g[0], 1e-4, 0.4).unwrap();
+        assert!(r.value < fx);
+    }
+}

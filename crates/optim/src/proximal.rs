@@ -1,0 +1,394 @@
+//! Proximal-gradient methods (ISTA/FISTA) for composite objectives.
+
+use crate::{Objective, OptimError, OptimReport, Result, StopCriteria};
+
+/// Proximal operators for the non-smooth part `g` of a composite objective
+/// `f(x) + g(x)`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Prox {
+    /// `g(x) = λ‖x‖₁` — soft thresholding.
+    L1(f64),
+    /// `g(x) = (λ/2)‖x‖₂²` — shrinkage.
+    L2Squared(f64),
+    /// Indicator of the box `[lo, hi]ᵈ` — clamping.
+    Box {
+        /// Lower bound applied to every coordinate.
+        lo: f64,
+        /// Upper bound applied to every coordinate.
+        hi: f64,
+    },
+    /// Indicator of the non-negative orthant.
+    NonNegative,
+    /// Indicator of the ℓ2 ball of the given radius — projection.
+    L2Ball(f64),
+    /// `g ≡ 0` — plain (accelerated) gradient descent.
+    Identity,
+}
+
+impl Prox {
+    /// Applies the proximal operator `prox_{t·g}` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) when `t <= 0`.
+    pub fn apply(&self, x: &mut [f64], t: f64) {
+        debug_assert!(t > 0.0, "prox step must be positive");
+        match *self {
+            Prox::L1(lambda) => {
+                let thr = lambda * t;
+                for v in x.iter_mut() {
+                    *v = v.signum() * (v.abs() - thr).max(0.0);
+                }
+            }
+            Prox::L2Squared(lambda) => {
+                let scale = 1.0 / (1.0 + lambda * t);
+                for v in x.iter_mut() {
+                    *v *= scale;
+                }
+            }
+            Prox::Box { lo, hi } => {
+                for v in x.iter_mut() {
+                    *v = v.clamp(lo, hi);
+                }
+            }
+            Prox::NonNegative => {
+                for v in x.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            Prox::L2Ball(radius) => {
+                let n = dre_linalg::vector::norm2(x);
+                if n > radius {
+                    let s = radius / n;
+                    for v in x.iter_mut() {
+                        *v *= s;
+                    }
+                }
+            }
+            Prox::Identity => {}
+        }
+    }
+
+    /// Value of the penalty `g(x)` (0 for indicator proxes at feasible
+    /// points; `+inf` outside the constraint set).
+    pub fn penalty(&self, x: &[f64]) -> f64 {
+        match *self {
+            Prox::L1(lambda) => lambda * dre_linalg::vector::norm1(x),
+            Prox::L2Squared(lambda) => {
+                0.5 * lambda * dre_linalg::vector::dot(x, x)
+            }
+            Prox::Box { lo, hi } => {
+                if x.iter().all(|&v| (lo..=hi).contains(&v)) {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Prox::NonNegative => {
+                if x.iter().all(|&v| v >= 0.0) {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Prox::L2Ball(radius) => {
+                if dre_linalg::vector::norm2(x) <= radius + 1e-12 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Prox::Identity => 0.0,
+        }
+    }
+}
+
+/// Proximal gradient descent (ISTA) with optional FISTA acceleration for
+/// composite objectives `min_x f(x) + g(x)` with smooth `f` and simple `g`.
+///
+/// The step size is adapted by backtracking on the standard composite
+/// sufficient-decrease condition
+/// `f(x⁺) ≤ f(x) + ∇f(x)ᵀ(x⁺−x) + ‖x⁺−x‖²/(2t)`.
+///
+/// # Example
+///
+/// ```
+/// use dre_optim::{ProximalGradient, Prox, FnObjective, StopCriteria};
+///
+/// // LASSO-style: ½(x − 3)² + 1·|x| has minimizer x = 2.
+/// let f = FnObjective::new(1, |x: &[f64]| {
+///     (0.5 * (x[0] - 3.0).powi(2), vec![x[0] - 3.0])
+/// });
+/// let r = ProximalGradient::new(StopCriteria::default(), Prox::L1(1.0))
+///     .minimize(&f, &[0.0])
+///     .unwrap();
+/// assert!((r.x[0] - 2.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProximalGradient {
+    stop: StopCriteria,
+    prox: Prox,
+    accelerated: bool,
+}
+
+impl ProximalGradient {
+    /// Creates an (unaccelerated, monotone) ISTA solver.
+    pub fn new(stop: StopCriteria, prox: Prox) -> Self {
+        ProximalGradient {
+            stop,
+            prox,
+            accelerated: false,
+        }
+    }
+
+    /// Enables FISTA acceleration (faster, not strictly monotone).
+    pub fn accelerated(mut self) -> Self {
+        self.accelerated = true;
+        self
+    }
+
+    /// Minimizes `f(x) + g(x)` from `x0`, where `f` is `obj` and `g` is the
+    /// configured proximal term.
+    ///
+    /// The reported `value`/`trace` include the penalty `g`.
+    ///
+    /// # Errors
+    ///
+    /// * [`OptimError::DimensionMismatch`] when `x0.len() != obj.dim()`.
+    /// * [`OptimError::NonFiniteObjective`] when `f` degenerates.
+    /// * [`OptimError::LineSearchFailed`] when backtracking cannot find a
+    ///   step.
+    pub fn minimize<O: Objective + ?Sized>(&self, obj: &O, x0: &[f64]) -> Result<OptimReport> {
+        if x0.len() != obj.dim() {
+            return Err(OptimError::DimensionMismatch {
+                expected: obj.dim(),
+                got: x0.len(),
+            });
+        }
+        // Start from a feasible point for indicator proxes.
+        let mut x = x0.to_vec();
+        self.prox.apply(&mut x, 1.0);
+
+        let mut fx = obj.value(&x);
+        if !fx.is_finite() {
+            return Err(OptimError::NonFiniteObjective { iteration: 0 });
+        }
+        let mut total = fx + self.prox.penalty(&x);
+        let mut trace = vec![total];
+        let mut t = 1.0; // step size, adapted by backtracking
+        let mut y = x.clone(); // FISTA extrapolation point
+        let mut momentum: f64 = 1.0;
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for iter in 0..self.stop.max_iters {
+            iterations = iter + 1;
+            let (fy, gy) = if self.accelerated {
+                obj.value_and_gradient(&y)
+            } else {
+                (fx, obj.gradient(&x))
+            };
+            let base = if self.accelerated { &y } else { &x };
+
+            // Backtracking on the composite quadratic upper bound.
+            let mut accepted: Option<(Vec<f64>, f64)> = None;
+            for _ in 0..60 {
+                let mut x_new = base.clone();
+                dre_linalg::vector::axpy(-t, &gy, &mut x_new);
+                self.prox.apply(&mut x_new, t);
+                let f_new = obj.value(&x_new);
+                if !f_new.is_finite() {
+                    t *= 0.5;
+                    continue;
+                }
+                let diff = dre_linalg::vector::sub(&x_new, base);
+                let quad = fy
+                    + dre_linalg::vector::dot(&gy, &diff)
+                    + dre_linalg::vector::dot(&diff, &diff) / (2.0 * t);
+                if f_new <= quad + 1e-12 {
+                    accepted = Some((x_new, f_new));
+                    break;
+                }
+                t *= 0.5;
+            }
+            let (x_new, f_new) =
+                accepted.ok_or(OptimError::LineSearchFailed { iteration: iter })?;
+
+            let step_move = dre_linalg::vector::max_abs_diff(&x_new, &x);
+            if self.accelerated {
+                let m_new = 0.5 * (1.0 + (1.0 + 4.0 * momentum * momentum).sqrt());
+                let beta = (momentum - 1.0) / m_new;
+                y = x_new.clone();
+                let delta = dre_linalg::vector::sub(&x_new, &x);
+                dre_linalg::vector::axpy(beta, &delta, &mut y);
+                momentum = m_new;
+            }
+            x = x_new;
+            fx = f_new;
+            let prev_total = total;
+            total = fx + self.prox.penalty(&x);
+            trace.push(total);
+
+            // Proximal-gradient convergence: tiny move and tiny decrease.
+            if step_move <= self.stop.grad_tol.max(1e-14)
+                || (prev_total - total).abs() <= self.stop.f_tol
+            {
+                converged = true;
+                break;
+            }
+        }
+
+        // Report the prox-gradient mapping norm as the "gradient".
+        let g = obj.gradient(&x);
+        let mut mapped = x.clone();
+        dre_linalg::vector::axpy(-t, &g, &mut mapped);
+        self.prox.apply(&mut mapped, t);
+        let residual: Vec<f64> = x
+            .iter()
+            .zip(&mapped)
+            .map(|(a, b)| (a - b) / t.max(1e-300))
+            .collect();
+
+        Ok(OptimReport {
+            grad_norm: dre_linalg::vector::norm_inf(&residual),
+            value: total,
+            x,
+            iterations,
+            converged,
+            trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnObjective;
+
+    fn shifted_quadratic(center: Vec<f64>) -> FnObjective<impl Fn(&[f64]) -> (f64, Vec<f64>)> {
+        FnObjective::new(center.len(), move |x: &[f64]| {
+            let diff = dre_linalg::vector::sub(x, &center);
+            (
+                0.5 * dre_linalg::vector::dot(&diff, &diff),
+                diff,
+            )
+        })
+    }
+
+    #[test]
+    fn prox_operators_are_correct() {
+        let mut x = vec![3.0, -0.5, 0.2];
+        Prox::L1(1.0).apply(&mut x, 1.0);
+        assert_eq!(x, vec![2.0, 0.0, 0.0]);
+
+        let mut x = vec![2.0];
+        Prox::L2Squared(1.0).apply(&mut x, 1.0);
+        assert_eq!(x, vec![1.0]);
+
+        let mut x = vec![-2.0, 5.0];
+        Prox::Box { lo: 0.0, hi: 1.0 }.apply(&mut x, 1.0);
+        assert_eq!(x, vec![0.0, 1.0]);
+
+        let mut x = vec![-1.0, 2.0];
+        Prox::NonNegative.apply(&mut x, 1.0);
+        assert_eq!(x, vec![0.0, 2.0]);
+
+        let mut x = vec![3.0, 4.0];
+        Prox::L2Ball(1.0).apply(&mut x, 1.0);
+        assert!((dre_linalg::vector::norm2(&x) - 1.0).abs() < 1e-12);
+
+        let mut x = vec![7.0];
+        Prox::Identity.apply(&mut x, 1.0);
+        assert_eq!(x, vec![7.0]);
+    }
+
+    #[test]
+    fn penalties_are_correct() {
+        assert_eq!(Prox::L1(2.0).penalty(&[1.0, -3.0]), 8.0);
+        assert_eq!(Prox::L2Squared(2.0).penalty(&[1.0, 2.0]), 5.0);
+        assert_eq!(Prox::Box { lo: 0.0, hi: 1.0 }.penalty(&[0.5]), 0.0);
+        assert_eq!(
+            Prox::Box { lo: 0.0, hi: 1.0 }.penalty(&[2.0]),
+            f64::INFINITY
+        );
+        assert_eq!(Prox::NonNegative.penalty(&[-0.1]), f64::INFINITY);
+        assert_eq!(Prox::L2Ball(5.0).penalty(&[3.0, 4.0]), 0.0);
+        assert_eq!(Prox::L2Ball(4.0).penalty(&[3.0, 4.0]), f64::INFINITY);
+        assert_eq!(Prox::Identity.penalty(&[9.0]), 0.0);
+    }
+
+    #[test]
+    fn lasso_solution_is_soft_thresholded_center() {
+        // min ½‖x − c‖² + λ‖x‖₁ has solution soft_threshold(c, λ).
+        let f = shifted_quadratic(vec![3.0, -0.5, 1.5]);
+        let r = ProximalGradient::new(StopCriteria::default(), Prox::L1(1.0))
+            .minimize(&f, &[0.0, 0.0, 0.0])
+            .unwrap();
+        assert!(dre_linalg::vector::max_abs_diff(&r.x, &[2.0, 0.0, 0.5]) < 1e-6);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn ista_is_monotone() {
+        let f = shifted_quadratic(vec![5.0, 5.0]);
+        let r = ProximalGradient::new(StopCriteria::default(), Prox::L1(0.5))
+            .minimize(&f, &[-5.0, 8.0])
+            .unwrap();
+        assert!(r.is_monotone(1e-10));
+    }
+
+    #[test]
+    fn fista_converges_at_least_as_well() {
+        let f = shifted_quadratic(vec![5.0, 5.0]);
+        let stop = StopCriteria {
+            max_iters: 400,
+            grad_tol: 1e-12,
+            f_tol: 1e-15,
+        };
+        let ista = ProximalGradient::new(stop, Prox::L1(0.5))
+            .minimize(&f, &[-5.0, 8.0])
+            .unwrap();
+        let fista = ProximalGradient::new(stop, Prox::L1(0.5))
+            .accelerated()
+            .minimize(&f, &[-5.0, 8.0])
+            .unwrap();
+        assert!(fista.value <= ista.value + 1e-8);
+    }
+
+    #[test]
+    fn ball_projection_constrains_solution() {
+        // Unconstrained minimizer at (5, 0); ball radius 1 → solution (1, 0).
+        let f = shifted_quadratic(vec![5.0, 0.0]);
+        let r = ProximalGradient::new(StopCriteria::default(), Prox::L2Ball(1.0))
+            .minimize(&f, &[0.0, 0.0])
+            .unwrap();
+        assert!(dre_linalg::vector::max_abs_diff(&r.x, &[1.0, 0.0]) < 1e-5);
+        assert!(dre_linalg::vector::norm2(&r.x) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn nonnegative_constraint_clips_solution() {
+        let f = shifted_quadratic(vec![-3.0, 2.0]);
+        let r = ProximalGradient::new(StopCriteria::default(), Prox::NonNegative)
+            .minimize(&f, &[1.0, 1.0])
+            .unwrap();
+        assert!(dre_linalg::vector::max_abs_diff(&r.x, &[0.0, 2.0]) < 1e-6);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let f = shifted_quadratic(vec![0.0]);
+        assert!(matches!(
+            ProximalGradient::new(StopCriteria::default(), Prox::Identity)
+                .minimize(&f, &[0.0, 0.0]),
+            Err(OptimError::DimensionMismatch { .. })
+        ));
+        let bad = FnObjective::new(1, |_: &[f64]| (f64::NAN, vec![0.0]));
+        assert!(matches!(
+            ProximalGradient::new(StopCriteria::default(), Prox::Identity)
+                .minimize(&bad, &[0.0]),
+            Err(OptimError::NonFiniteObjective { .. })
+        ));
+    }
+}

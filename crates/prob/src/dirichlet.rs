@@ -1,0 +1,207 @@
+//! Dirichlet distribution over the probability simplex.
+
+use rand::Rng;
+
+use crate::special::ln_gamma;
+use crate::univariate::Gamma;
+use crate::{Distribution, ProbError, Result};
+
+/// Dirichlet distribution with concentration vector `α`.
+///
+/// The finite-dimensional marginal of the Dirichlet process; used both as the
+/// prior over mixture weights in the truncated variational DP and for
+/// sampling weight vectors in tests.
+///
+/// # Example
+///
+/// ```
+/// use dre_prob::{Dirichlet, seeded_rng};
+///
+/// let d = Dirichlet::new(vec![1.0, 1.0, 1.0]).unwrap();
+/// let w = d.sample(&mut seeded_rng(0));
+/// assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    /// Creates a Dirichlet distribution.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProbError::InvalidDimension`] if `alpha.len() < 2`.
+    /// * [`ProbError::InvalidParameter`] if any concentration is
+    ///   non-positive or non-finite.
+    pub fn new(alpha: Vec<f64>) -> Result<Self> {
+        if alpha.len() < 2 {
+            return Err(ProbError::InvalidDimension {
+                what: "dirichlet",
+                dim: alpha.len(),
+            });
+        }
+        for &a in &alpha {
+            if !(a > 0.0 && a.is_finite()) {
+                return Err(ProbError::InvalidParameter {
+                    what: "dirichlet",
+                    param: "alpha",
+                    value: a,
+                });
+            }
+        }
+        Ok(Dirichlet { alpha })
+    }
+
+    /// Symmetric Dirichlet with `k` components of concentration `a`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Dirichlet::new`].
+    pub fn symmetric(k: usize, a: f64) -> Result<Self> {
+        Self::new(vec![a; k])
+    }
+
+    /// Concentration vector.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// Dimension of the simplex (number of components).
+    pub fn dim(&self) -> usize {
+        self.alpha.len()
+    }
+
+    /// Mean vector `αᵢ / Σα`.
+    pub fn mean(&self) -> Vec<f64> {
+        let s: f64 = self.alpha.iter().sum();
+        self.alpha.iter().map(|a| a / s).collect()
+    }
+
+    /// Log-density at a point `x` on the simplex.
+    ///
+    /// Returns `-inf` when `x` is off the simplex (wrong length, negative
+    /// entries or sum ≠ 1 beyond tolerance).
+    pub fn log_pdf(&self, x: &[f64]) -> f64 {
+        if x.len() != self.alpha.len() {
+            return f64::NEG_INFINITY;
+        }
+        let sum: f64 = x.iter().sum();
+        if (sum - 1.0).abs() > 1e-8 || x.iter().any(|&v| v < 0.0) {
+            return f64::NEG_INFINITY;
+        }
+        let a0: f64 = self.alpha.iter().sum();
+        let mut lp = ln_gamma(a0);
+        for (&a, &xi) in self.alpha.iter().zip(x) {
+            lp -= ln_gamma(a);
+            if a != 1.0 {
+                if xi == 0.0 {
+                    return f64::NEG_INFINITY;
+                }
+                lp += (a - 1.0) * xi.ln();
+            }
+        }
+        lp
+    }
+
+    /// Draws a probability vector.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        let mut g: Vec<f64> = self
+            .alpha
+            .iter()
+            .map(|&a| {
+                Gamma::new(a, 1.0)
+                    .expect("validated at construction")
+                    .sample(rng)
+            })
+            .collect();
+        let s: f64 = g.iter().sum();
+        if s <= 0.0 {
+            // Astronomically unlikely with positive shapes; fall back to mean.
+            return self.mean();
+        }
+        for v in &mut g {
+            *v /= s;
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn validates_parameters() {
+        assert!(Dirichlet::new(vec![1.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, 0.0]).is_err());
+        assert!(Dirichlet::new(vec![1.0, -2.0]).is_err());
+        assert!(Dirichlet::symmetric(3, 0.5).is_ok());
+    }
+
+    #[test]
+    fn mean_is_normalized_alpha() {
+        let d = Dirichlet::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let m = d.mean();
+        assert!((m[0] - 1.0 / 6.0).abs() < 1e-14);
+        assert!((m[2] - 0.5).abs() < 1e-14);
+        assert_eq!(d.dim(), 3);
+        assert_eq!(d.alpha(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn log_pdf_uniform_case() {
+        // Dir(1,1) is uniform on the simplex: density Γ(2) = 1 everywhere.
+        let d = Dirichlet::new(vec![1.0, 1.0]).unwrap();
+        assert!((d.log_pdf(&[0.3, 0.7])).abs() < 1e-12);
+        // Dir(1,1,1) has density Γ(3) = 2.
+        let d3 = Dirichlet::symmetric(3, 1.0).unwrap();
+        assert!((d3.log_pdf(&[0.2, 0.3, 0.5]) - 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_pdf_rejects_off_simplex() {
+        let d = Dirichlet::new(vec![2.0, 2.0]).unwrap();
+        assert_eq!(d.log_pdf(&[0.5, 0.4]), f64::NEG_INFINITY);
+        assert_eq!(d.log_pdf(&[1.5, -0.5]), f64::NEG_INFINITY);
+        assert_eq!(d.log_pdf(&[1.0]), f64::NEG_INFINITY);
+        assert_eq!(d.log_pdf(&[0.0, 1.0]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn samples_live_on_simplex_with_correct_mean() {
+        let d = Dirichlet::new(vec![2.0, 4.0, 2.0]).unwrap();
+        let mut rng = seeded_rng(42);
+        let n = 20_000;
+        let mut acc = vec![0.0; 3];
+        for _ in 0..n {
+            let w = d.sample(&mut rng);
+            assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+            assert!(w.iter().all(|&v| v >= 0.0));
+            for (a, v) in acc.iter_mut().zip(&w) {
+                *a += v;
+            }
+        }
+        for (a, m) in acc.iter().zip(d.mean()) {
+            assert!((a / n as f64 - m).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn concentration_controls_spread() {
+        // High concentration → samples near the mean; low → near corners.
+        let mut rng = seeded_rng(7);
+        let tight = Dirichlet::symmetric(3, 100.0).unwrap();
+        let loose = Dirichlet::symmetric(3, 0.1).unwrap();
+        let spread = |d: &Dirichlet, rng: &mut rand::rngs::StdRng| {
+            let mut dev: f64 = 0.0;
+            for _ in 0..2000 {
+                let w = d.sample(rng);
+                dev += (w[0] - 1.0 / 3.0).abs();
+            }
+            dev / 2000.0
+        };
+        assert!(spread(&tight, &mut rng) < spread(&loose, &mut rng));
+    }
+}

@@ -1,0 +1,77 @@
+use std::fmt;
+
+use dre_linalg::LinalgError;
+
+/// Errors produced when constructing or evaluating distributions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProbError {
+    /// A distribution parameter was out of its valid domain.
+    InvalidParameter {
+        /// Distribution or function name.
+        what: &'static str,
+        /// Parameter name.
+        param: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// A dimension constraint was violated (e.g. empty weight vector).
+    InvalidDimension {
+        /// Distribution or function name.
+        what: &'static str,
+        /// Observed dimension.
+        dim: usize,
+    },
+    /// An underlying linear-algebra operation failed (typically a covariance
+    /// matrix that is not positive definite).
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for ProbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbError::InvalidParameter { what, param, value } => {
+                write!(f, "invalid parameter {param}={value} for {what}")
+            }
+            ProbError::InvalidDimension { what, dim } => {
+                write!(f, "invalid dimension {dim} for {what}")
+            }
+            ProbError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProbError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ProbError {
+    fn from(e: LinalgError) -> Self {
+        ProbError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ProbError::InvalidParameter {
+            what: "normal",
+            param: "sigma",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("sigma"));
+
+        let le = LinalgError::Singular { pivot: 0 };
+        let e: ProbError = le.into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("singular"));
+    }
+}

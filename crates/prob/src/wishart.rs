@@ -1,0 +1,345 @@
+//! Wishart and inverse-Wishart distributions over covariance matrices.
+
+use rand::Rng;
+
+use dre_linalg::{Cholesky, Lu, Matrix};
+
+use crate::special::ln_mv_gamma;
+use crate::univariate::{standard_normal, Gamma};
+use crate::{Distribution, ProbError, Result};
+
+fn validate_scale(what: &'static str, dof: f64, scale: &Matrix) -> Result<Cholesky> {
+    if !scale.is_square() || scale.rows() == 0 {
+        return Err(ProbError::InvalidDimension {
+            what,
+            dim: scale.rows(),
+        });
+    }
+    let d = scale.rows() as f64;
+    if !(dof > d - 1.0 && dof.is_finite()) {
+        return Err(ProbError::InvalidParameter {
+            what,
+            param: "dof",
+            value: dof,
+        });
+    }
+    Ok(Cholesky::new_with_jitter(scale, 1e-9)?)
+}
+
+/// Samples a lower-triangular Bartlett factor `A` such that `A·Aᵀ ~ W_d(ν, I)`.
+fn bartlett<R: Rng + ?Sized>(rng: &mut R, d: usize, dof: f64) -> Matrix {
+    let mut a = Matrix::zeros(d, d);
+    for i in 0..d {
+        // χ²_{ν−i} = Gamma(shape = (ν−i)/2, rate = 1/2).
+        let chi2 = Gamma::new(0.5 * (dof - i as f64), 0.5)
+            .expect("dof validated against dimension")
+            .sample(rng);
+        a[(i, i)] = chi2.sqrt();
+        for j in 0..i {
+            a[(i, j)] = standard_normal(rng);
+        }
+    }
+    a
+}
+
+/// Wishart distribution `W_d(ν, V)` over positive-definite matrices.
+///
+/// Samples via the Bartlett decomposition; used in tests and as the building
+/// block of [`InverseWishart`] sampling.
+#[derive(Debug, Clone)]
+pub struct Wishart {
+    dof: f64,
+    scale_chol: Cholesky,
+}
+
+impl Wishart {
+    /// Creates a Wishart distribution with `ν` degrees of freedom and scale
+    /// matrix `V`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProbError::InvalidParameter`] unless `ν > d − 1`.
+    /// * [`ProbError::InvalidDimension`] for an empty or non-square scale.
+    /// * [`ProbError::Linalg`] when `V` is not positive definite.
+    pub fn new(dof: f64, scale: &Matrix) -> Result<Self> {
+        let scale_chol = validate_scale("wishart", dof, scale)?;
+        Ok(Wishart { dof, scale_chol })
+    }
+
+    /// Degrees of freedom `ν`.
+    pub fn dof(&self) -> f64 {
+        self.dof
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.scale_chol.dim()
+    }
+
+    /// Mean `ν·V`.
+    pub fn mean(&self) -> Matrix {
+        self.scale_chol.reconstruct().scaled(self.dof)
+    }
+
+    /// Draws one positive-definite matrix sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Matrix {
+        let d = self.dim();
+        let a = bartlett(rng, d, self.dof);
+        // W = L A Aᵀ Lᵀ where V = L Lᵀ.
+        let la = self
+            .scale_chol
+            .factor_l()
+            .matmul(&a)
+            .expect("dimension invariant");
+        let mut w = la.matmul(&la.transpose()).expect("dimension invariant");
+        w.symmetrize();
+        w
+    }
+
+    /// Log-density at a positive-definite matrix `x`.
+    ///
+    /// Returns `-inf` for mismatched dimensions or non-PD input.
+    pub fn log_pdf(&self, x: &Matrix) -> f64 {
+        let d = self.dim();
+        if x.shape() != (d, d) {
+            return f64::NEG_INFINITY;
+        }
+        let Ok(xc) = Cholesky::new(x) else {
+            return f64::NEG_INFINITY;
+        };
+        let df = self.dof;
+        let dd = d as f64;
+        // tr(V⁻¹ X) = Σᵢ eᵢᵀ V⁻¹ X eᵢ.
+        let mut tr = 0.0;
+        for j in 0..d {
+            let col = x.col(j);
+            let v = self.scale_chol.solve(&col).expect("dimension invariant");
+            tr += v[j];
+        }
+        0.5 * (df - dd - 1.0) * xc.log_det()
+            - 0.5 * tr
+            - 0.5 * df * dd * (2.0f64).ln()
+            - 0.5 * df * self.scale_chol.log_det()
+            - ln_mv_gamma(d, 0.5 * df)
+    }
+}
+
+/// Inverse-Wishart distribution `IW_d(ν, Ψ)` — the conjugate prior for a
+/// multivariate-normal covariance matrix.
+#[derive(Debug, Clone)]
+pub struct InverseWishart {
+    dof: f64,
+    psi: Matrix,
+    psi_chol: Cholesky,
+}
+
+impl InverseWishart {
+    /// Creates an inverse-Wishart distribution with `ν` degrees of freedom
+    /// and scale matrix `Ψ`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Wishart::new`].
+    pub fn new(dof: f64, psi: &Matrix) -> Result<Self> {
+        let psi_chol = validate_scale("inverse_wishart", dof, psi)?;
+        Ok(InverseWishart {
+            dof,
+            psi: psi.clone(),
+            psi_chol,
+        })
+    }
+
+    /// Degrees of freedom `ν`.
+    pub fn dof(&self) -> f64 {
+        self.dof
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.psi.rows()
+    }
+
+    /// Scale matrix `Ψ`.
+    pub fn psi(&self) -> &Matrix {
+        &self.psi
+    }
+
+    /// Mean `Ψ / (ν − d − 1)`, defined for `ν > d + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProbError::InvalidParameter`] when `ν ≤ d + 1`.
+    pub fn mean(&self) -> Result<Matrix> {
+        let d = self.dim() as f64;
+        if self.dof <= d + 1.0 {
+            return Err(ProbError::InvalidParameter {
+                what: "inverse_wishart mean",
+                param: "dof",
+                value: self.dof,
+            });
+        }
+        Ok(self.psi.scaled(1.0 / (self.dof - d - 1.0)))
+    }
+
+    /// Draws one positive-definite matrix sample: `X ~ IW(ν, Ψ)` iff
+    /// `X⁻¹ ~ W(ν, Ψ⁻¹)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Matrix {
+        let psi_inv = self.psi_chol.inverse();
+        let w = Wishart::new(self.dof, &psi_inv)
+            .expect("parameters validated at construction")
+            .sample(rng);
+        let mut x = Lu::new(&w)
+            .expect("wishart draws are nonsingular almost surely")
+            .inverse();
+        x.symmetrize();
+        x
+    }
+
+    /// Log-density at a positive-definite matrix `x`.
+    ///
+    /// Returns `-inf` for mismatched dimensions or non-PD input.
+    pub fn log_pdf(&self, x: &Matrix) -> f64 {
+        let d = self.dim();
+        if x.shape() != (d, d) {
+            return f64::NEG_INFINITY;
+        }
+        let Ok(xc) = Cholesky::new(x) else {
+            return f64::NEG_INFINITY;
+        };
+        let df = self.dof;
+        let dd = d as f64;
+        // tr(Ψ X⁻¹) = Σⱼ (X⁻¹ Ψ)ⱼⱼ.
+        let mut tr = 0.0;
+        for j in 0..d {
+            let col = self.psi.col(j);
+            let v = xc.solve(&col).expect("dimension invariant");
+            tr += v[j];
+        }
+        0.5 * df * self.psi_chol.log_det()
+            - 0.5 * (df + dd + 1.0) * xc.log_det()
+            - 0.5 * tr
+            - 0.5 * df * dd * (2.0f64).ln()
+            - ln_mv_gamma(d, 0.5 * df)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    fn psi2() -> Matrix {
+        Matrix::from_rows(&[&[2.0, 0.3], &[0.3, 1.0]]).unwrap()
+    }
+
+    #[test]
+    fn wishart_validation() {
+        assert!(Wishart::new(0.5, &Matrix::identity(2)).is_err()); // ν ≤ d−1
+        assert!(Wishart::new(3.0, &Matrix::zeros(0, 0)).is_err());
+        assert!(Wishart::new(3.0, &Matrix::from_diag(&[-1.0, 1.0])).is_err());
+        let w = Wishart::new(5.0, &psi2()).unwrap();
+        assert_eq!(w.dim(), 2);
+        assert_eq!(w.dof(), 5.0);
+    }
+
+    #[test]
+    fn wishart_sample_mean_is_nu_v() {
+        let v = psi2();
+        let w = Wishart::new(6.0, &v).unwrap();
+        let mut rng = seeded_rng(101);
+        let n = 4000;
+        let mut acc = Matrix::zeros(2, 2);
+        for _ in 0..n {
+            let s = w.sample(&mut rng);
+            acc = acc.add(&s).unwrap();
+        }
+        let emp = acc.scaled(1.0 / n as f64);
+        let expected = w.mean();
+        assert!(emp.sub(&expected).unwrap().frobenius_norm() < 0.5);
+    }
+
+    #[test]
+    fn wishart_1d_reduces_to_gamma() {
+        // W_1(ν, v) is Gamma(shape ν/2, rate 1/(2v)).
+        let v = 2.0;
+        let w = Wishart::new(3.0, &Matrix::from_diag(&[v])).unwrap();
+        let g = Gamma::new(1.5, 1.0 / (2.0 * v)).unwrap();
+        for &x in &[0.5, 1.0, 4.0, 9.0] {
+            let lw = w.log_pdf(&Matrix::from_diag(&[x]));
+            assert!((lw - g.log_pdf(x)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn wishart_log_pdf_rejects_bad_input() {
+        let w = Wishart::new(5.0, &psi2()).unwrap();
+        assert_eq!(w.log_pdf(&Matrix::identity(3)), f64::NEG_INFINITY);
+        assert_eq!(
+            w.log_pdf(&Matrix::from_diag(&[1.0, -1.0])),
+            f64::NEG_INFINITY
+        );
+    }
+
+    #[test]
+    fn inverse_wishart_mean_formula() {
+        let iw = InverseWishart::new(6.0, &psi2()).unwrap();
+        let m = iw.mean().unwrap();
+        // ν − d − 1 = 3.
+        assert!((m[(0, 0)] - 2.0 / 3.0).abs() < 1e-12);
+        assert!(InverseWishart::new(3.0, &psi2())
+            .unwrap()
+            .mean()
+            .is_err());
+        assert_eq!(iw.dim(), 2);
+        assert_eq!(iw.dof(), 6.0);
+        assert_eq!(iw.psi()[(0, 1)], 0.3);
+    }
+
+    #[test]
+    fn inverse_wishart_sample_mean() {
+        let iw = InverseWishart::new(8.0, &psi2()).unwrap();
+        let mut rng = seeded_rng(103);
+        let n = 4000;
+        let mut acc = Matrix::zeros(2, 2);
+        for _ in 0..n {
+            acc = acc.add(&iw.sample(&mut rng)).unwrap();
+        }
+        let emp = acc.scaled(1.0 / n as f64);
+        let expected = iw.mean().unwrap();
+        assert!(emp.sub(&expected).unwrap().frobenius_norm() < 0.1);
+    }
+
+    #[test]
+    fn inverse_wishart_1d_density() {
+        // IW_1(ν, ψ) is Inverse-Gamma(ν/2, ψ/2): check via change of
+        // variables against Gamma on 1/x: if Y=1/X ~ Gamma(a, b) then
+        // f_X(x) = f_Y(1/x) / x².
+        let nu = 5.0;
+        let psi = 1.5;
+        let iw = InverseWishart::new(nu, &Matrix::from_diag(&[psi])).unwrap();
+        let g = Gamma::new(0.5 * nu, 0.5 * psi).unwrap();
+        for &x in &[0.2, 0.7, 2.0] {
+            let expected = g.log_pdf(1.0 / x) - 2.0 * x.ln();
+            assert!((iw.log_pdf(&Matrix::from_diag(&[x])) - expected).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn wishart_iw_density_duality() {
+        // If X ~ W(ν, V) then X⁻¹ ~ IW(ν, V⁻¹); their densities relate by
+        // the Jacobian |X|^{d+1}: f_IW(x⁻¹) = f_W(x) · |x|^{d+1}.
+        let v = psi2();
+        let nu = 7.0;
+        let w = Wishart::new(nu, &v).unwrap();
+        let v_inv = Cholesky::new(&v).unwrap().inverse();
+        let iw = InverseWishart::new(nu, &v_inv).unwrap();
+
+        let x = Matrix::from_rows(&[&[1.2, 0.1], &[0.1, 0.9]]).unwrap();
+        let mut x_inv = Lu::new(&x).unwrap().inverse();
+        x_inv.symmetrize();
+        let log_det_x = Cholesky::new(&x).unwrap().log_det();
+        let lhs = iw.log_pdf(&x_inv);
+        let rhs = w.log_pdf(&x) + (2.0 + 1.0) * log_det_x;
+        assert!((lhs - rhs).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,238 @@
+//! f-divergence worst-case risks via their 1-D duals.
+
+use crate::{Chi2Ball, KlBall, Result, RobustError};
+
+fn validate_losses(losses: &[f64]) -> Result<()> {
+    if losses.is_empty() {
+        return Err(RobustError::InvalidDataset {
+            reason: "worst-case risk needs at least one loss value",
+        });
+    }
+    if losses.iter().any(|l| !l.is_finite()) {
+        return Err(RobustError::InvalidDataset {
+            reason: "loss values must be finite",
+        });
+    }
+    Ok(())
+}
+
+/// Worst-case expected loss over a KL ball,
+/// `sup_{KL(Q‖P̂) ≤ ρ} E_Q[ℓ]`, computed through the convex dual
+///
+/// ```text
+/// min_{γ > 0}  γ·ρ + γ·ln( (1/n) Σᵢ e^{ℓᵢ/γ} )
+/// ```
+///
+/// (Donsker–Varadhan / Hu & Hong). The 1-D minimization is done by
+/// golden-section search on a bracketed interval.
+///
+/// # Errors
+///
+/// Returns [`RobustError::InvalidDataset`] for empty or non-finite losses.
+pub fn kl_worst_case_risk(losses: &[f64], ball: KlBall) -> Result<f64> {
+    validate_losses(losses)?;
+    let rho = ball.radius();
+    let max = losses.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if rho == 0.0 {
+        return Ok(mean(losses));
+    }
+    let n = losses.len() as f64;
+    // Stable evaluation of γ·ln((1/n)Σ e^{ℓ/γ}) = max + γ·ln((1/n)Σ e^{(ℓ−max)/γ}).
+    let g = |gamma: f64| -> f64 {
+        let sum: f64 = losses.iter().map(|&l| ((l - max) / gamma).exp()).sum();
+        gamma * rho + max + gamma * (sum / n).ln()
+    };
+    // g(γ) → max as γ → 0⁺ and grows like γ(ρ + ln 1) + mean-ish as γ → ∞;
+    // the minimizer is interior. Bracket generously relative to the loss
+    // spread.
+    let spread = (max - losses.iter().cloned().fold(f64::INFINITY, f64::min)).max(1e-12);
+    let value = golden(g, 1e-9 * spread.max(1.0), 100.0 * spread / rho.max(1e-9) + 1.0);
+    // The dual can never fall below the primal at Q = P̂ nor exceed max ℓ
+    // (min computed first so float noise cannot invert the clamp bounds).
+    let lo = mean(losses).min(max);
+    Ok(value.clamp(lo, max))
+}
+
+/// Worst-case expected loss over a χ² ball,
+/// `sup_{χ²(Q‖P̂) ≤ ρ} E_Q[ℓ]`, via the dual
+///
+/// ```text
+/// min_{η ∈ ℝ}  η + √(1 + ρ) · √( (1/n) Σᵢ (ℓᵢ − η)₊² )
+/// ```
+///
+/// (Ben-Tal et al.; see also Duchi & Namkoong, variance regularization.)
+///
+/// # Errors
+///
+/// Returns [`RobustError::InvalidDataset`] for empty or non-finite losses.
+pub fn chi2_worst_case_risk(losses: &[f64], ball: Chi2Ball) -> Result<f64> {
+    validate_losses(losses)?;
+    let rho = ball.radius();
+    if rho == 0.0 {
+        return Ok(mean(losses));
+    }
+    let n = losses.len() as f64;
+    let max = losses.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = losses.iter().cloned().fold(f64::INFINITY, f64::min);
+    let coeff = (1.0 + rho).sqrt();
+    let g = |eta: f64| -> f64 {
+        let s: f64 = losses
+            .iter()
+            .map(|&l| {
+                let r = (l - eta).max(0.0);
+                r * r
+            })
+            .sum();
+        eta + coeff * (s / n).sqrt()
+    };
+    // The optimal η lies in [min − spread, max].
+    let spread = (max - min).max(1e-12);
+    let value = golden(g, min - spread - 1.0, max);
+    let lo = mean(losses).min(max);
+    Ok(value.clamp(lo, max))
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn golden<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64) -> f64 {
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let mut x1 = hi - INV_PHI * (hi - lo);
+    let mut x2 = lo + INV_PHI * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    for _ in 0..300 {
+        if (hi - lo).abs() < 1e-12 * (1.0 + hi.abs()) {
+            break;
+        }
+        if f1 <= f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - INV_PHI * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + INV_PHI * (hi - lo);
+            f2 = f(x2);
+        }
+    }
+    f1.min(f2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validates_input() {
+        assert!(kl_worst_case_risk(&[], KlBall::new(0.1).unwrap()).is_err());
+        assert!(kl_worst_case_risk(&[f64::NAN], KlBall::new(0.1).unwrap()).is_err());
+        assert!(chi2_worst_case_risk(&[], Chi2Ball::new(0.1).unwrap()).is_err());
+        assert!(chi2_worst_case_risk(&[f64::INFINITY], Chi2Ball::new(0.1).unwrap()).is_err());
+    }
+
+    #[test]
+    fn zero_radius_gives_empirical_mean() {
+        let losses = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(
+            kl_worst_case_risk(&losses, KlBall::new(0.0).unwrap()).unwrap(),
+            2.5
+        );
+        assert_eq!(
+            chi2_worst_case_risk(&losses, Chi2Ball::new(0.0).unwrap()).unwrap(),
+            2.5
+        );
+    }
+
+    #[test]
+    fn risk_grows_with_radius_toward_max() {
+        let losses = [0.1, 0.5, 1.0, 3.0];
+        let mut prev_kl = 0.0;
+        let mut prev_chi = 0.0;
+        for rho in [0.01, 0.1, 0.5, 2.0, 10.0] {
+            let kl = kl_worst_case_risk(&losses, KlBall::new(rho).unwrap()).unwrap();
+            let chi = chi2_worst_case_risk(&losses, Chi2Ball::new(rho).unwrap()).unwrap();
+            assert!(kl >= prev_kl - 1e-9, "kl not monotone");
+            assert!(chi >= prev_chi - 1e-9, "chi2 not monotone");
+            assert!(kl <= 3.0 + 1e-9);
+            assert!(chi <= 3.0 + 1e-9);
+            prev_kl = kl;
+            prev_chi = chi;
+        }
+        // Large radius concentrates all mass on the worst sample.
+        let kl_big = kl_worst_case_risk(&losses, KlBall::new(50.0).unwrap()).unwrap();
+        assert!((kl_big - 3.0).abs() < 0.05, "kl_big = {kl_big}");
+    }
+
+    #[test]
+    fn constant_losses_are_invariant() {
+        let losses = [0.7; 10];
+        let kl = kl_worst_case_risk(&losses, KlBall::new(1.0).unwrap()).unwrap();
+        let chi = chi2_worst_case_risk(&losses, Chi2Ball::new(1.0).unwrap()).unwrap();
+        assert!((kl - 0.7).abs() < 1e-9);
+        assert!((chi - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi2_matches_two_point_closed_form() {
+        // Two losses {0, 1}: Q = (1−q, q) has χ² = (2q−1)²… with
+        // P̂ = (½, ½), χ²(Q‖P̂) = Σ (qᵢ−pᵢ)²/pᵢ = 2(q−½)²·2 = (2q−1)².
+        // Constraint (2q−1)² ≤ ρ ⇒ q ≤ (1+√ρ)/2; worst-case E = q.
+        let losses = [0.0, 1.0];
+        for rho in [0.04f64, 0.25, 0.5] {
+            let expected = ((1.0 + rho.sqrt()) / 2.0).min(1.0);
+            let got = chi2_worst_case_risk(&losses, Chi2Ball::new(rho).unwrap()).unwrap();
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "rho={rho}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn kl_matches_two_point_numeric_primal() {
+        // Verify the dual against brute-force primal on two atoms.
+        let losses = [0.0, 1.0];
+        let rho = 0.2;
+        // Primal: maximize q over q ∈ [0,1] with KL((1−q,q)‖(½,½)) ≤ ρ.
+        let kl_div = |q: f64| {
+            let mut s = 0.0;
+            for (qi, pi) in [(1.0 - q, 0.5), (q, 0.5)] {
+                if qi > 0.0 {
+                    s += qi * (qi / pi).ln();
+                }
+            }
+            s
+        };
+        let mut best = 0.5;
+        let mut q = 0.5;
+        while q <= 1.0 {
+            if kl_div(q) <= rho {
+                best = q;
+            }
+            q += 1e-5;
+        }
+        let got = kl_worst_case_risk(&losses, KlBall::new(rho).unwrap()).unwrap();
+        assert!((got - best).abs() < 1e-3, "got {got}, primal {best}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_worst_case_between_mean_and_max(
+            losses in proptest::collection::vec(0.0..10.0f64, 1..20),
+            rho in 0.0..5.0f64,
+        ) {
+            let m = mean(&losses);
+            let max = losses.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let kl = kl_worst_case_risk(&losses, KlBall::new(rho).unwrap()).unwrap();
+            let chi = chi2_worst_case_risk(&losses, Chi2Ball::new(rho).unwrap()).unwrap();
+            prop_assert!(kl >= m - 1e-9 && kl <= max + 1e-9);
+            prop_assert!(chi >= m - 1e-9 && chi <= max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Robustness certification: train with and without DRO, then certify both
+//! models against Wasserstein balls of growing radius and stress them with
+//! the optimal feature attack.
+//!
+//! ```sh
+//! cargo run -p dre-integration --example robustness_certificate --release
+//! ```
+
+use dre_data::{TaskFamily, TaskFamilyConfig};
+use dre_models::LogisticLoss;
+use dre_prob::seeded_rng;
+use dre_robust::worst_case::{adversarial_accuracy, certify};
+use dre_robust::WassersteinBall;
+use dro_edge::{baselines, CloudKnowledge, EdgeLearner, EdgeLearnerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = seeded_rng(4040);
+    let family = TaskFamily::generate(&TaskFamilyConfig::default(), &mut rng)?;
+    let cloud = CloudKnowledge::from_family(&family, 40, 400, 1.0, &mut rng)?;
+
+    let task = family.sample_task(&mut rng);
+    let train = task.generate(30, &mut rng);
+    let eval = task.generate(1500, &mut rng);
+
+    let erm = baselines::fit_local_erm(&train, 1e-3)?;
+    let dro_dp = EdgeLearner::new(EdgeLearnerConfig::default(), cloud.prior().clone())?
+        .fit(&train)?
+        .model;
+
+    println!(
+        "{:>8}  {:>22}  {:>22}",
+        "radius", "ERM bound | adv-acc", "DRO+DP bound | adv-acc"
+    );
+    for radius in [0.0, 0.1, 0.25, 0.5, 1.0] {
+        let ball = WassersteinBall::features_only(radius)?;
+        let cert_erm = certify(&erm, train.features(), train.labels(), LogisticLoss, ball)?;
+        let cert_dro =
+            certify(&dro_dp, train.features(), train.labels(), LogisticLoss, ball)?;
+        let adv_erm = adversarial_accuracy(&erm, eval.features(), eval.labels(), radius)?;
+        let adv_dro = adversarial_accuracy(&dro_dp, eval.features(), eval.labels(), radius)?;
+        println!(
+            "{radius:>8.2}  {:>12.3} | {adv_erm:>6.3}  {:>12.3} | {adv_dro:>6.3}",
+            cert_erm.worst_case_bound, cert_dro.worst_case_bound,
+        );
+    }
+    println!(
+        "\nthe certificate column is a *guarantee*: no distribution within the\n\
+         ball — shifts, flips, reweightings — can push the expected loss above it."
+    );
+    Ok(())
+}

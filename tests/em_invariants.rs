@@ -1,0 +1,145 @@
+//! Property-based invariants of the EM relaxation, across random
+//! configurations and datasets.
+
+use dre_bayes::MixturePrior;
+use dre_data::{TaskFamily, TaskFamilyConfig};
+use dre_linalg::Matrix;
+use dre_prob::seeded_rng;
+use dro_edge::{EdgeLearner, EdgeLearnerConfig};
+use proptest::prelude::*;
+
+fn prior_for(family: &TaskFamily, cov: f64) -> MixturePrior {
+    let comps: Vec<(f64, Vec<f64>, Matrix)> = family
+        .cluster_centers()
+        .iter()
+        .map(|c| (1.0, c.clone(), Matrix::from_diag(&vec![cov; c.len()])))
+        .collect();
+    MixturePrior::new(comps).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn em_objective_never_increases(
+        seed in 0u64..1000,
+        epsilon in 0.0..0.4f64,
+        rho in 0.0..4.0f64,
+        n in 8usize..60,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let family = TaskFamily::generate(&TaskFamilyConfig {
+            dim: 3,
+            num_clusters: 2,
+            ..TaskFamilyConfig::default()
+        }, &mut rng).unwrap();
+        let prior = prior_for(&family, 0.2);
+        let task = family.sample_task(&mut rng);
+        let data = task.generate(n, &mut rng);
+        let learner = EdgeLearner::new(EdgeLearnerConfig {
+            epsilon,
+            rho,
+            em_rounds: 8,
+            ..EdgeLearnerConfig::default()
+        }, prior).unwrap();
+        let fit = learner.fit(&data).unwrap();
+        for w in fit.objective_trace.windows(2) {
+            prop_assert!(
+                w[1] <= w[0] + 1e-3,
+                "objective increased: {:?}", fit.objective_trace
+            );
+        }
+    }
+
+    #[test]
+    fn responsibilities_are_a_distribution_and_surrogate_is_tight(
+        seed in 0u64..1000,
+        x0 in -5.0..5.0f64,
+        x1 in -5.0..5.0f64,
+        x2 in -5.0..5.0f64,
+        x3 in -5.0..5.0f64,
+    ) {
+        let mut rng = seeded_rng(seed);
+        let family = TaskFamily::generate(&TaskFamilyConfig {
+            dim: 3,
+            num_clusters: 3,
+            ..TaskFamilyConfig::default()
+        }, &mut rng).unwrap();
+        let prior = prior_for(&family, 0.5);
+        let theta = [x0, x1, x2, x3];
+        let r = prior.responsibilities(&theta);
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(r.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let q = prior.em_surrogate(&r).unwrap();
+        // Tight at the anchor, majorizing nearby.
+        prop_assert!((q.value(&theta) + prior.log_pdf(&theta)).abs() < 1e-7);
+        let nearby = [x0 + 0.3, x1 - 0.2, x2, x3 + 0.1];
+        prop_assert!(q.value(&nearby) >= -prior.log_pdf(&nearby) - 1e-8);
+    }
+
+    #[test]
+    fn more_data_shrinks_the_priors_influence(
+        seed in 0u64..300,
+    ) {
+        // With ρ fixed, the prior term is (ρ/n)(−log π): its weight at the
+        // fit must fall as n grows. Verify through the learner's exact
+        // objective decomposition.
+        let mut rng = seeded_rng(seed);
+        let family = TaskFamily::generate(&TaskFamilyConfig {
+            dim: 3,
+            num_clusters: 2,
+            ..TaskFamilyConfig::default()
+        }, &mut rng).unwrap();
+        let prior = prior_for(&family, 0.2);
+        let task = family.sample_task(&mut rng);
+        let config = EdgeLearnerConfig { em_rounds: 6, ..EdgeLearnerConfig::default() };
+        let learner = EdgeLearner::new(config, prior.clone()).unwrap();
+
+        let small = task.generate(10, &mut rng);
+        let large = task.generate(200, &mut rng);
+        let fit_small = learner.fit(&small).unwrap();
+        let fit_large = learner.fit(&large).unwrap();
+
+        let prior_pull = |data: &dre_data::Dataset, packed: &[f64]| {
+            -config.rho / data.len() as f64 * prior.log_pdf(packed)
+        };
+        let pull_small = prior_pull(&small, &fit_small.model.to_packed());
+        let pull_large = prior_pull(&large, &fit_large.model.to_packed());
+        // The prior term's magnitude decays roughly like 1/n; allow slack
+        // because −log π at the fit also moves.
+        prop_assert!(
+            pull_large.abs() < pull_small.abs() + 1.0,
+            "prior influence should fade: n=10 → {pull_small}, n=200 → {pull_large}"
+        );
+    }
+}
+
+#[test]
+fn em_trace_length_matches_rounds_plus_one() {
+    let mut rng = seeded_rng(4242);
+    let family = TaskFamily::generate(
+        &TaskFamilyConfig {
+            dim: 3,
+            num_clusters: 2,
+            ..TaskFamilyConfig::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let prior = prior_for(&family, 0.2);
+    let task = family.sample_task(&mut rng);
+    let data = task.generate(30, &mut rng);
+    let learner = EdgeLearner::new(
+        EdgeLearnerConfig {
+            em_rounds: 7,
+            em_tol: 0.0,
+            ..EdgeLearnerConfig::default()
+        },
+        prior,
+    )
+    .unwrap();
+    let fit = learner.fit(&data).unwrap();
+    assert_eq!(fit.em_rounds, 7);
+    assert_eq!(fit.objective_trace.len(), 8);
+}

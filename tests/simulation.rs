@@ -1,0 +1,137 @@
+//! Integration of the deployment simulator with the real learning
+//! pipeline: prior sizes come from an actually fitted cloud prior.
+
+use dre_data::{TaskFamily, TaskFamilyConfig};
+use dre_edgesim::{ComputeModel, DeviceSpec, Link, Scenario, Strategy};
+use dre_prob::seeded_rng;
+use dro_edge::CloudKnowledge;
+
+fn fitted_prior_bytes() -> (u64, usize) {
+    let mut rng = seeded_rng(600);
+    let family = TaskFamily::generate(
+        &TaskFamilyConfig {
+            dim: 6,
+            num_clusters: 3,
+            ..TaskFamilyConfig::default()
+        },
+        &mut rng,
+    )
+    .unwrap();
+    let cloud = CloudKnowledge::from_family(&family, 24, 300, 1.0, &mut rng).unwrap();
+    (cloud.transfer_size_bytes() as u64, family.config().dim)
+}
+
+#[test]
+fn prior_transfer_beats_raw_upload_on_bytes_with_a_real_prior() {
+    let (prior_bytes, dim) = fitted_prior_bytes();
+    let samples = 500;
+    let link = Link::new_ms(30.0, 125_000.0);
+
+    let run = |strategy| {
+        let mut sc = Scenario::new(ComputeModel::default());
+        sc.add_device(DeviceSpec { link, strategy });
+        sc.run()
+    };
+    let cloud = run(Strategy::CloudRoundTrip {
+        samples,
+        dim,
+        iterations: 100,
+    });
+    let prior = run(Strategy::PriorTransfer {
+        samples,
+        dim,
+        iterations: 100,
+        em_rounds: 10,
+        prior_bytes,
+    });
+    assert!(
+        prior.total_bytes * 3 < cloud.total_bytes,
+        "fitted prior {} bytes should be ≪ raw upload {} bytes",
+        prior.total_bytes,
+        cloud.total_bytes
+    );
+}
+
+#[test]
+fn fleet_scaling_shapes_match_the_paper_motivation() {
+    let (prior_bytes, dim) = fitted_prior_bytes();
+    let link = Link::new_ms(30.0, 125_000.0);
+    let makespan = |strategy: Strategy, fleet: usize| {
+        let mut sc = Scenario::new(ComputeModel {
+            cloud_flops: 5e8, // modest cloud to expose contention
+            ..ComputeModel::default()
+        });
+        for _ in 0..fleet {
+            sc.add_device(DeviceSpec { link, strategy });
+        }
+        sc.run().makespan.as_secs_f64()
+    };
+
+    let cloud_1 = makespan(
+        Strategy::CloudRoundTrip {
+            samples: 500,
+            dim,
+            iterations: 100,
+        },
+        1,
+    );
+    let cloud_40 = makespan(
+        Strategy::CloudRoundTrip {
+            samples: 500,
+            dim,
+            iterations: 100,
+        },
+        40,
+    );
+    let prior_strategy = Strategy::PriorTransfer {
+        samples: 500,
+        dim,
+        iterations: 100,
+        em_rounds: 10,
+        prior_bytes,
+    };
+    let prior_1 = makespan(prior_strategy, 1);
+    let prior_40 = makespan(prior_strategy, 40);
+
+    // Cloud round trips queue; prior transfers do not.
+    assert!(cloud_40 > cloud_1 * 2.0, "cloud should queue: {cloud_1} → {cloud_40}");
+    assert!(
+        (prior_40 - prior_1).abs() < 1e-9,
+        "prior transfer should scale flat: {prior_1} → {prior_40}"
+    );
+}
+
+#[test]
+fn device_reports_are_internally_consistent() {
+    let (prior_bytes, dim) = fitted_prior_bytes();
+    let mut sc = Scenario::new(ComputeModel::default());
+    for i in 0..6 {
+        sc.add_device(DeviceSpec {
+            link: Link::new_ms(10.0 + i as f64 * 5.0, 1e6),
+            strategy: Strategy::PriorTransfer {
+                samples: 100 + 10 * i,
+                dim,
+                iterations: 50,
+                em_rounds: 8,
+                prior_bytes,
+            },
+        });
+    }
+    let report = sc.run();
+    assert_eq!(report.devices.len(), 6);
+    // Every device sent a request and received the prior.
+    for d in &report.devices {
+        assert_eq!(d.bytes_sent, 64);
+        assert_eq!(d.bytes_received, prior_bytes);
+        assert!(d.completion.as_micros() > 0);
+    }
+    // Longer links and bigger workloads finish strictly later.
+    for w in report.devices.windows(2) {
+        assert!(w[1].completion > w[0].completion);
+    }
+    assert_eq!(
+        report.total_bytes,
+        6 * (64 + prior_bytes),
+        "aggregate bytes must equal the per-device sum"
+    );
+}
