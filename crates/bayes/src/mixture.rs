@@ -7,6 +7,11 @@ use rand::Rng;
 
 use crate::{BayesError, Result};
 
+/// Component count below which per-component density terms stay serial —
+/// the transferred priors usually have a handful of components, where a
+/// thread spawn costs more than the `O(d²)` solves it distributes.
+const MIXTURE_MIN_PAR_COMPONENTS: usize = 8;
+
 /// One Gaussian component `(w, μ, Σ)` of a [`MixturePrior`].
 #[derive(Debug, Clone)]
 pub struct MixtureComponent {
@@ -236,13 +241,17 @@ impl MixturePrior {
     }
 
     /// Log-density `log π(θ) = log Σ_k w_k N(θ; μ_k, Σ_k)`.
+    ///
+    /// Per-component terms are independent (and each is an `O(d²)`
+    /// triangular solve), so mixtures with many components evaluate them in
+    /// parallel; the combining `log_sum_exp` is unchanged, making the value
+    /// identical to the serial path.
     pub fn log_pdf(&self, theta: &[f64]) -> f64 {
-        let terms: Vec<f64> = self
-            .components
-            .iter()
-            .zip(&self.log_weights)
-            .map(|(comp, lw)| lw + comp.density.log_pdf(theta))
-            .collect();
+        let terms = dre_parallel::par_map_indexed_min(
+            self.components.len(),
+            MIXTURE_MIN_PAR_COMPONENTS,
+            |k| self.log_weights[k] + self.components[k].density.log_pdf(theta),
+        );
         dre_linalg::vector::log_sum_exp(&terms)
     }
 
@@ -257,23 +266,21 @@ impl MixturePrior {
     /// basins with this quantity; the optimization itself still uses the
     /// true density.
     pub fn log_kernel(&self, theta: &[f64]) -> f64 {
-        let terms: Vec<f64> = self
-            .components
-            .iter()
-            .zip(&self.log_weights)
-            .map(|(comp, lw)| lw - 0.5 * comp.density.mahalanobis_sq(theta))
-            .collect();
+        let terms = dre_parallel::par_map_indexed_min(
+            self.components.len(),
+            MIXTURE_MIN_PAR_COMPONENTS,
+            |k| self.log_weights[k] - 0.5 * self.components[k].density.mahalanobis_sq(theta),
+        );
         dre_linalg::vector::log_sum_exp(&terms)
     }
 
     /// E-step responsibilities `r_k ∝ w_k N(θ; μ_k, Σ_k)` (normalized).
     pub fn responsibilities(&self, theta: &[f64]) -> Vec<f64> {
-        let mut r: Vec<f64> = self
-            .components
-            .iter()
-            .zip(&self.log_weights)
-            .map(|(comp, lw)| lw + comp.density.log_pdf(theta))
-            .collect();
+        let mut r = dre_parallel::par_map_indexed_min(
+            self.components.len(),
+            MIXTURE_MIN_PAR_COMPONENTS,
+            |k| self.log_weights[k] + self.components[k].density.log_pdf(theta),
+        );
         dre_linalg::vector::softmax_in_place(&mut r);
         r
     }

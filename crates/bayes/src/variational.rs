@@ -271,13 +271,16 @@ impl VariationalDpGmm {
                 .collect::<std::result::Result<_, _>>()?;
 
             // --- E-step: responsibilities. ---
-            for (i, x) in data.iter().enumerate() {
+            // Points are independent given the current parameters; each
+            // point's row has exactly one writer, so the parallel result is
+            // bit-identical to the serial one.
+            responsibilities = dre_parallel::par_map_slice(data, |x| {
                 let mut logr: Vec<f64> = (0..k)
                     .map(|j| e_log_w[j] + densities[j].log_pdf(x))
                     .collect();
                 dre_linalg::vector::softmax_in_place(&mut logr);
-                responsibilities[i].copy_from_slice(&logr);
-            }
+                logr
+            });
 
             // --- M-step. ---
             let mut occupancy = vec![0.0; k];
@@ -297,9 +300,12 @@ impl VariationalDpGmm {
             // toward the global covariance (pseudo-count s₀) to rule out the
             // covariance-collapse degeneracy on starved components.
             let s0 = self.config.cov_prior_strength.max(0.0);
-            for j in 0..k {
+            // Components are independent given the responsibilities, and
+            // each accumulates over the data in its original order — so the
+            // per-component sums match the serial path exactly.
+            let updates = dre_parallel::par_map_indexed_min(k, 2, |j| {
                 if occupancy[j] < 1e-8 {
-                    continue; // starved component: keep previous parameters
+                    return None; // starved component: keep previous parameters
                 }
                 let mut mu = vec![0.0; d];
                 for (x, r) in data.iter().zip(&responsibilities) {
@@ -319,8 +325,13 @@ impl VariationalDpGmm {
                     .scaled(1.0 / (occupancy[j] + s0));
                 cov.add_diag(self.config.cov_reg);
                 cov.symmetrize();
-                means[j] = mu;
-                covs[j] = cov;
+                Some((mu, cov))
+            });
+            for (j, up) in updates.into_iter().enumerate() {
+                if let Some((mu, cov)) = up {
+                    means[j] = mu;
+                    covs[j] = cov;
+                }
             }
 
             // --- Objective: expected-weight mixture log-likelihood. ---
@@ -372,8 +383,10 @@ fn mixture_log_likelihood(
         .zip(covs)
         .map(|(m, c)| MvNormal::new(m.clone(), c))
         .collect::<std::result::Result<_, _>>()?;
-    let mut total = 0.0;
-    for x in data {
+    // Fixed-order chunked reduction: deterministic and identical serial or
+    // parallel.
+    Ok(dre_parallel::par_sum_indexed(data.len(), |i| {
+        let x = &data[i];
         let terms: Vec<f64> = densities
             .iter()
             .zip(weights)
@@ -385,9 +398,8 @@ fn mixture_log_likelihood(
                 }
             })
             .collect();
-        total += dre_linalg::vector::log_sum_exp(&terms);
-    }
-    Ok(total)
+        dre_linalg::vector::log_sum_exp(&terms)
+    }))
 }
 
 /// k-means++-style seeding: first center uniform, subsequent centers chosen

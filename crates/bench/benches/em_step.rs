@@ -17,7 +17,7 @@ fn bench_em(c: &mut Criterion) {
     let comps: Vec<(f64, Vec<f64>, Matrix)> = family
         .cluster_centers()
         .iter()
-        .map(|ctr| (1.0, ctr.clone(), Matrix::from_diag(&vec![0.1; 6])))
+        .map(|ctr| (1.0, ctr.clone(), Matrix::from_diag(&[0.1; 6])))
         .collect();
     let prior = MixturePrior::new(comps).unwrap();
 

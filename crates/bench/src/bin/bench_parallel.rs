@@ -1,0 +1,217 @@
+//! Serial-vs-parallel wall-time comparison for the workspace's hot kernels.
+//!
+//! Writes `BENCH_parallel.json` at the repository root: per kernel the best
+//! serial and parallel wall time, the speedup, and a serial/parallel output
+//! diff (which must be 0 — the execution layer guarantees bit-identical
+//! results). On single-core machines the thread speedups hover around 1×,
+//! so the report also times the seed's row-at-a-time matmul against the
+//! current row-blocked kernel, which shows the serial-path win; re-run on a
+//! multi-core machine to measure the threaded speedups.
+
+use std::time::Instant;
+
+use dre_bayes::{DpNiwGibbs, GibbsConfig, VariationalConfig, VariationalDpGmm};
+use dre_bench::json::JsonValue;
+use dre_linalg::Matrix;
+use dre_models::{LinearModel, LogisticLoss};
+use dre_optim::Objective as _;
+use dre_prob::{seeded_rng, MvNormal, NormalInverseWishart};
+use dre_robust::{WassersteinBall, WassersteinDualObjective};
+use rand::Rng;
+
+/// Best-of-`reps` wall time in milliseconds, plus the last result.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn random_matrix(rng: &mut rand::rngs::StdRng, rows: usize, cols: usize) -> Matrix {
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Matrix::from_vec(rows, cols, data).expect("shape matches data")
+}
+
+/// The seed's streaming-axpy matmul (zero-skip, no tiling, no transpose) —
+/// kept here as the timing baseline for the tiled kernel.
+fn seed_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = vec![0.0; a.rows() * b.cols()];
+    for i in 0..a.rows() {
+        let orow = &mut out[i * b.cols()..(i + 1) * b.cols()];
+        for (k, &aik) in a.row(i).iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            for (o, &bkj) in orow.iter_mut().zip(b.row(k)) {
+                *o += aik * bkj;
+            }
+        }
+    }
+    Matrix::from_vec(a.rows(), b.cols(), out).expect("shape matches data")
+}
+
+fn kernel_entry(name: &str, serial_ms: f64, parallel_ms: f64, diff: f64) -> JsonValue {
+    JsonValue::object([
+        ("name", JsonValue::from(name)),
+        ("serial_ms", JsonValue::from(serial_ms)),
+        ("parallel_ms", JsonValue::from(parallel_ms)),
+        ("speedup", JsonValue::from(serial_ms / parallel_ms)),
+        ("max_abs_diff", JsonValue::from(diff)),
+    ])
+}
+
+fn main() {
+    let mut kernels: Vec<JsonValue> = Vec::new();
+
+    // -- matmul (tiled kernel, row-parallel) --------------------------------
+    let n = 768;
+    let mut rng = seeded_rng(11);
+    let a = random_matrix(&mut rng, n, n);
+    let b = random_matrix(&mut rng, n, n);
+    let (par_ms, par_out) = time_best(5, || a.matmul(&b).expect("dims agree"));
+    let (ser_ms, ser_out) = time_best(5, || {
+        dre_parallel::with_serial(|| a.matmul(&b).expect("dims agree"))
+    });
+    let diff = max_abs_diff(par_out.as_slice(), ser_out.as_slice());
+    kernels.push(kernel_entry(&format!("matmul_{n}x{n}"), ser_ms, par_ms, diff));
+    println!("matmul_{n}x{n}: serial {ser_ms:.2} ms, parallel {par_ms:.2} ms, diff {diff:e}");
+
+    let (seed_ms, seed_out) = time_best(5, || seed_matmul(&a, &b));
+    let baseline = JsonValue::object([
+        (
+            "name",
+            JsonValue::from(format!("matmul_{n}x{n}_seed_kernel_vs_blocked").as_str()),
+        ),
+        ("baseline_ms", JsonValue::from(seed_ms)),
+        ("tuned_ms", JsonValue::from(ser_ms)),
+        ("speedup", JsonValue::from(seed_ms / ser_ms)),
+        (
+            "max_abs_diff",
+            JsonValue::from(max_abs_diff(seed_out.as_slice(), ser_out.as_slice())),
+        ),
+    ]);
+    println!("  seed kernel {seed_ms:.2} ms -> blocked {ser_ms:.2} ms ({:.2}x)", seed_ms / ser_ms);
+
+    // -- Gibbs sweep scoring ------------------------------------------------
+    let d = 6;
+    let m = 120;
+    let mut rng = seeded_rng(5);
+    let centers = [
+        MvNormal::isotropic(vec![4.0; d], 0.05).expect("valid"),
+        MvNormal::isotropic(vec![-4.0; d], 0.05).expect("valid"),
+        MvNormal::isotropic(vec![0.0; d], 0.05).expect("valid"),
+    ];
+    let params: Vec<Vec<f64>> = (0..m)
+        .map(|i| centers[i % centers.len()].sample(&mut rng))
+        .collect();
+    let gibbs = DpNiwGibbs::new(
+        NormalInverseWishart::vague(d).expect("valid"),
+        GibbsConfig {
+            alpha: 1.0,
+            burn_in: 0,
+            sweeps: 5,
+            alpha_prior: None,
+        },
+    )
+    .expect("valid config");
+    let (par_ms, par_fit) = time_best(3, || {
+        gibbs.fit(&params, &mut seeded_rng(9)).expect("fit succeeds")
+    });
+    let (ser_ms, ser_fit) = time_best(3, || {
+        dre_parallel::with_serial(|| gibbs.fit(&params, &mut seeded_rng(9)).expect("fit succeeds"))
+    });
+    // The sampler consumes the identical RNG stream either way, so the
+    // assignments must agree exactly; the joint trace doubles as an fp check.
+    let mismatches = par_fit
+        .assignments
+        .iter()
+        .zip(&ser_fit.assignments)
+        .filter(|(x, y)| x != y)
+        .count() as f64;
+    let diff = mismatches.max(max_abs_diff(&par_fit.log_joint_trace, &ser_fit.log_joint_trace));
+    kernels.push(kernel_entry("gibbs_sweep_scoring_m120", ser_ms, par_ms, diff));
+    println!("gibbs_sweep_scoring_m120: serial {ser_ms:.2} ms, parallel {par_ms:.2} ms, diff {diff:e}");
+
+    // -- Variational EM E-step ----------------------------------------------
+    let mut rng = seeded_rng(5);
+    let many: Vec<Vec<f64>> = (0..400)
+        .map(|i| centers[i % centers.len()].sample(&mut rng))
+        .collect();
+    let vb = VariationalDpGmm::new(VariationalConfig {
+        alpha: 1.0,
+        truncation: 15,
+        max_iters: 30,
+        ..VariationalConfig::default()
+    })
+    .expect("valid config");
+    let (par_ms, par_vb) = time_best(3, || {
+        vb.fit(&many, &mut seeded_rng(9)).expect("fit succeeds")
+    });
+    let (ser_ms, ser_vb) = time_best(3, || {
+        dre_parallel::with_serial(|| vb.fit(&many, &mut seeded_rng(9)).expect("fit succeeds"))
+    });
+    let diff = max_abs_diff(&par_vb.objective_trace, &ser_vb.objective_trace)
+        .max(max_abs_diff(&par_vb.weights, &ser_vb.weights));
+    kernels.push(kernel_entry("em_estep_variational_n400", ser_ms, par_ms, diff));
+    println!("em_estep_variational_n400: serial {ser_ms:.2} ms, parallel {par_ms:.2} ms, diff {diff:e}");
+
+    // -- Wasserstein dual evaluation ----------------------------------------
+    let (n, d) = (10_000, 20);
+    let mut rng = seeded_rng(7);
+    let gen = MvNormal::isotropic(vec![0.0; d], 1.0).expect("valid");
+    let xs = gen.sample_n(&mut rng, n);
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| if x[0] >= 0.0 { 1.0 } else { -1.0 })
+        .collect();
+    let ball = WassersteinBall::new(0.1, 1.0).expect("valid");
+    let obj = WassersteinDualObjective::new(&xs, &ys, LogisticLoss, ball).expect("valid dataset");
+    let packed: Vec<f64> = (0..d + 2).map(|i| 0.1 * i as f64).collect();
+    let model = LinearModel::from_packed(&packed[..d + 1]);
+    let (par_ms, (pv, pg, pr)) = time_best(5, || {
+        let (v, g) = obj.value_and_gradient(&packed);
+        (v, g, obj.exact_robust_risk(&model))
+    });
+    let (ser_ms, (sv, sg, sr)) = time_best(5, || {
+        dre_parallel::with_serial(|| {
+            let (v, g) = obj.value_and_gradient(&packed);
+            (v, g, obj.exact_robust_risk(&model))
+        })
+    });
+    let diff = (pv - sv)
+        .abs()
+        .max(max_abs_diff(&pg, &sg))
+        .max((pr - sr).abs());
+    kernels.push(kernel_entry("dual_evaluation_n10000_d20", ser_ms, par_ms, diff));
+    println!("dual_evaluation_n10000_d20: serial {ser_ms:.2} ms, parallel {par_ms:.2} ms, diff {diff:e}");
+
+    // -- report -------------------------------------------------------------
+    let report = JsonValue::object([
+        (
+            "generated_by",
+            JsonValue::from("cargo run --release -p dre-bench --bin bench_parallel"),
+        ),
+        ("threads", JsonValue::from(dre_parallel::max_threads())),
+        (
+            "parallel_feature",
+            JsonValue::from(cfg!(feature = "parallel")),
+        ),
+        ("kernels", JsonValue::array(kernels)),
+        ("serial_baselines", JsonValue::array([baseline])),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, report.pretty()).expect("write BENCH_parallel.json");
+    println!("wrote {path}");
+}

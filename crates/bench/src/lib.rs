@@ -16,7 +16,8 @@ use dre_data::{TaskFamily, TaskFamilyConfig};
 use dre_prob::seeded_rng;
 use dro_edge::{CloudKnowledge, EdgeLearnerConfig};
 use rand::rngs::StdRng;
-use serde::Serialize;
+
+pub mod json;
 
 /// The workspace-standard task family every experiment defaults to:
 /// 5 features, 3 latent clusters, mild label noise.
@@ -73,7 +74,7 @@ pub fn standard_learner_config() -> EdgeLearnerConfig {
 }
 
 /// An aligned text table with a JSON mirror.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment identifier (e.g. `"E1"`).
     pub id: String,
@@ -148,14 +149,30 @@ impl Table {
             return;
         }
         let path = dir.join(format!("{}.json", self.id.to_lowercase()));
-        match serde_json::to_string_pretty(self) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&path, json) {
-                    eprintln!("warning: cannot write {}: {e}", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: cannot serialize table: {e}"),
+        if let Err(e) = std::fs::write(&path, self.to_json()) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
         }
+    }
+
+    /// Serializes the table as pretty-printed JSON (same shape the old
+    /// serde derive produced).
+    pub fn to_json(&self) -> String {
+        use crate::json::JsonValue;
+        JsonValue::object([
+            ("id", JsonValue::from(self.id.as_str())),
+            ("title", JsonValue::from(self.title.as_str())),
+            (
+                "headers",
+                JsonValue::array(self.headers.iter().map(|h| JsonValue::from(h.as_str()))),
+            ),
+            (
+                "rows",
+                JsonValue::array(self.rows.iter().map(|row| {
+                    JsonValue::array(row.iter().map(|c| JsonValue::from(c.as_str())))
+                })),
+            ),
+        ])
+        .pretty()
     }
 }
 

@@ -167,19 +167,21 @@ impl EdgeLearner {
         let empirical_risk = |theta: &[f64]| {
             use dre_models::MarginLoss;
             let model = LinearModel::from_packed(theta);
-            data.features()
-                .iter()
-                .zip(data.labels())
-                .map(|(x, &y)| LogisticLoss.value(model.margin(x, y)))
-                .sum::<f64>()
-                / data.len() as f64
+            dre_parallel::par_sum_indexed(data.len(), |i| {
+                LogisticLoss.value(model.margin(&data.features()[i], data.labels()[i]))
+            }) / data.len() as f64
         };
-        let best_start = starts
-            .into_iter()
-            .map(|theta| (empirical_risk(&theta), theta))
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"))
+        // Score every candidate start concurrently (each score is itself a
+        // chunked deterministic sum); ties keep the first index, matching
+        // the sequential min_by scan.
+        let scores = dre_parallel::par_map_slice_min(&starts, 2, |theta| empirical_risk(theta));
+        let best = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
             .expect("at least one start")
-            .1;
+            .0;
+        let best_start = starts.swap_remove(best);
         let (theta, trace, rounds) =
             self.run_chain(data, &dual, best_start, self.config.em_rounds)?;
 
@@ -262,7 +264,7 @@ mod tests {
         let comps: Vec<(f64, Vec<f64>, Matrix)> = family
             .cluster_centers()
             .iter()
-            .map(|c| (1.0, c.clone(), Matrix::from_diag(&vec![0.1; 4])))
+            .map(|c| (1.0, c.clone(), Matrix::from_diag(&[0.1; 4])))
             .collect();
         let prior = MixturePrior::new(comps).unwrap();
         (family, prior)

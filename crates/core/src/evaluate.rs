@@ -203,7 +203,7 @@ mod tests {
         let comps: Vec<(f64, Vec<f64>, Matrix)> = family
             .cluster_centers()
             .iter()
-            .map(|c| (1.0, c.clone(), Matrix::from_diag(&vec![0.1; 4])))
+            .map(|c| (1.0, c.clone(), Matrix::from_diag(&[0.1; 4])))
             .collect();
         (family, MixturePrior::new(comps).unwrap())
     }

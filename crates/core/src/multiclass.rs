@@ -588,7 +588,7 @@ mod tests {
         // k capped by data size; invalid input rejected.
         assert!(kmeans_prior(&models, 0, 0.1, &mut rng).is_err());
         assert!(kmeans_prior::<rand::rngs::StdRng>(&[], 2, 0.1, &mut rng).is_err());
-        let one = kmeans_prior(&models[..1].to_vec(), 5, 0.1, &mut rng).unwrap();
+        let one = kmeans_prior(&models[..1], 5, 0.1, &mut rng).unwrap();
         assert_eq!(one.num_components(), 1);
     }
 }

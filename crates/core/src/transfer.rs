@@ -15,8 +15,6 @@
 //!   cov    d(d+1)/2 × f64   (upper triangle, row major)
 //! ```
 
-use bytes::{Buf, BufMut};
-
 use dre_bayes::MixturePrior;
 use dre_linalg::Matrix;
 
@@ -24,6 +22,52 @@ use crate::{EdgeError, Result};
 
 const MAGIC: u32 = 0x4452_4F45; // "DROE"
 const VERSION: u8 = 1;
+
+/// Little-endian append helpers on `Vec<u8>`, mirroring the tiny slice of
+/// `bytes::BufMut` this module used before the workspace went offline.
+trait PutLe {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32_le(&mut self, v: u32);
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl PutLe for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Little-endian cursor over a byte slice; callers check [`Self::remaining`]
+/// before reading, so the getters may assume enough bytes are present.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+}
+
+impl ByteReader<'_> {
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let (head, tail) = self.buf.split_at(N);
+        self.buf = tail;
+        head.try_into().expect("split_at returned N bytes")
+    }
+    fn get_u8(&mut self) -> u8 {
+        self.take::<1>()[0]
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take::<4>())
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take::<8>())
+    }
+}
 
 /// Serializes a mixture prior into the versioned wire format.
 ///
@@ -61,7 +105,7 @@ pub fn serialize_prior(prior: &MixturePrior) -> Vec<u8> {
 /// [`MixturePrior::new`] (e.g. a tampered covariance that is no longer
 /// positive semi-definite).
 pub fn deserialize_prior(bytes: &[u8]) -> Result<MixturePrior> {
-    let mut buf = bytes;
+    let mut buf = ByteReader { buf: bytes };
     if buf.remaining() < 13 {
         return Err(EdgeError::InvalidData {
             reason: "prior payload shorter than its header",

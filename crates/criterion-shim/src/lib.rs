@@ -1,0 +1,213 @@
+//! Offline drop-in replacement for the subset of the `criterion` benchmark
+//! API this workspace uses.
+//!
+//! The build environment cannot reach a crates registry, so the workspace
+//! maps the `criterion` dev-dependency name onto this crate via a Cargo
+//! package rename. Bench files keep their `use criterion::...` imports and
+//! `criterion_group!`/`criterion_main!` invocations unchanged.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs adaptive
+//! batches until a wall-clock budget is met, and reports the median
+//! per-iteration time over the collected samples. No plots, no statistics
+//! beyond median/min — enough to track relative regressions offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Collects per-iteration timings for one benchmark.
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, storing per-iteration nanoseconds.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and batch-size calibration: grow the batch until one batch
+        // costs at least ~1ms, so timer overhead stays negligible.
+        let mut batch = 1u64;
+        let batch_cost = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break elapsed;
+            }
+            batch *= 2;
+        };
+
+        let deadline = Instant::now() + self.budget.saturating_sub(batch_cost);
+        self.samples
+            .push(batch_cost.as_nanos() as f64 / batch as f64);
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn report(&mut self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<50} (no samples)");
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        let min = self.samples[0];
+        println!(
+            "{label:<50} median {:>12} min {:>12} ({} samples)",
+            format_nanos(median),
+            format_nanos(min),
+            self.samples.len()
+        );
+    }
+}
+
+fn format_nanos(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    budget: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count; the shim maps it onto a wall-clock budget.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // Criterion's default is 100 samples; scale the default budget.
+        let per_sample_ms = 3;
+        self.budget = Duration::from_millis((per_sample_ms * n.max(10)) as u64);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: self.budget,
+        };
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.full));
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: self.budget,
+        };
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.full));
+        self
+    }
+
+    /// Ends the group (a no-op in the shim; kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("── bench group: {name} ──");
+        BenchmarkGroup {
+            name,
+            budget: Duration::from_millis(300),
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(10);
+        let mut ran = 0u64;
+        group.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn nanos_formatting_scales() {
+        assert!(format_nanos(12.0).contains("ns"));
+        assert!(format_nanos(12_000.0).contains("µs"));
+        assert!(format_nanos(12_000_000.0).contains("ms"));
+        assert!(format_nanos(12_000_000_000.0).contains("s"));
+    }
+}

@@ -392,7 +392,7 @@ mod tests {
         let fam = TaskFamily::generate(&TaskFamilyConfig::default(), &mut rng).unwrap();
         let tasks = fam.sample_tasks(&mut rng, 60);
         assert_eq!(tasks.len(), 60);
-        let mut seen = vec![false; 3];
+        let mut seen = [false; 3];
         for t in &tasks {
             seen[t.cluster()] = true;
         }

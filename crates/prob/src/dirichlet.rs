@@ -174,7 +174,7 @@ mod tests {
         let d = Dirichlet::new(vec![2.0, 4.0, 2.0]).unwrap();
         let mut rng = seeded_rng(42);
         let n = 20_000;
-        let mut acc = vec![0.0; 3];
+        let mut acc = [0.0; 3];
         for _ in 0..n {
             let w = d.sample(&mut rng);
             assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-10);

@@ -469,7 +469,7 @@ mod tests {
         let x2 = vec![-0.3, 1.1];
 
         let lp1 = prior.posterior_predictive().unwrap().log_pdf(&x1);
-        let s1 = stats_from(&[x1.clone()]);
+        let s1 = stats_from(std::slice::from_ref(&x1));
         let post1 = prior.posterior(&s1).unwrap();
         let lp2 = post1.posterior_predictive().unwrap().log_pdf(&x2);
 

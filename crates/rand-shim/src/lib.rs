@@ -1,0 +1,248 @@
+//! Offline drop-in replacement for the subset of the `rand` crate API this
+//! workspace uses.
+//!
+//! The build environment has no network access to a crates registry, so the
+//! workspace maps the `rand` dependency name onto this crate via a Cargo
+//! package rename. Call sites keep writing `use rand::Rng;` unchanged.
+//!
+//! Provided surface:
+//!
+//! * [`RngCore`] / [`Rng`] with [`Rng::gen_range`] over half-open `f64` and
+//!   integer ranges,
+//! * [`rngs::StdRng`] — xoshiro256++ seeded through SplitMix64,
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates.
+//!
+//! The generator is deterministic for a given seed on every platform; all
+//! seeded tests in the workspace rely on that, not on matching upstream
+//! `rand`'s stream bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Low-level generator interface: a source of uniformly random `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// High-level sampling helpers, implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from the half-open range `[range.start, range.end)`.
+    ///
+    /// Panics when the range is empty, matching upstream `rand` semantics.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Ranges that can be sampled uniformly with a [`RngCore`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(
+            self.start < self.end,
+            "cannot sample empty range {}..{}",
+            self.start,
+            self.end
+        );
+        // 53 uniform mantissa bits -> u in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + (self.end - self.start) * u;
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            f64::from_bits(self.end.to_bits() - 1)
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(
+                    self.start < self.end,
+                    "cannot sample empty range {}..{}",
+                    self.start,
+                    self.end
+                );
+                let span = (self.end as i128 - self.start as i128) as u64;
+                // Rejection sampling below the largest multiple of `span`
+                // keeps the draw exactly uniform.
+                let limit = (u64::MAX / span) * span;
+                loop {
+                    let x = rng.next_u64();
+                    if x < limit {
+                        return (self.start as i128 + (x % span) as i128) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(usize, u64, u32, u8, i64, i32);
+
+/// Construction of generators from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256++.
+    ///
+    /// Not the same stream as upstream `rand::rngs::StdRng` (ChaCha12), but
+    /// deterministic, high quality, and far faster — all the workspace needs.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice uniformly with Fisher–Yates.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0.0..1.0_f64).to_bits(),
+                b.gen_range(0.0..1.0_f64).to_bits()
+            );
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same = (0..64).all(|_| a.gen_range(0..1000_u64) == c.gen_range(0..1000_u64));
+        assert!(!same, "different seeds should diverge");
+    }
+
+    #[test]
+    fn f64_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-2.5..3.5_f64);
+            assert!((-2.5..3.5).contains(&v));
+        }
+        // Degenerate-width positive range stays positive.
+        for _ in 0..1000 {
+            let v = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn int_range_covers_support_uniformly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = [0usize; 5];
+        for _ in 0..5000 {
+            counts[rng.gen_range(0..5_usize)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 800, "bucket badly undersampled: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn works_through_unsized_receivers() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let dyned: &mut StdRng = &mut rng;
+        let v = draw(dyned);
+        assert!((0.0..1.0).contains(&v));
+    }
+}

@@ -165,30 +165,27 @@ impl<'a, L: MarginLoss> WassersteinDualObjective<'a, L> {
     /// ball.
     pub fn exact_robust_risk(&self, model: &LinearModel) -> f64 {
         let n = self.xs.len() as f64;
-        let margins: Vec<f64> = self
-            .xs
-            .iter()
-            .zip(self.ys)
-            .map(|(x, &y)| model.margin(x, y))
-            .collect();
+        // Per-sample margins and the per-γ dual sums below are the hot path
+        // for large n; both use the deterministic parallel primitives (the
+        // sums with fixed-order chunked reduction).
+        let margins: Vec<f64> =
+            dre_parallel::par_map_indexed(self.xs.len(), |i| model.margin(&self.xs[i], self.ys[i]));
         let gamma_lo = self.loss.margin_lipschitz() * model.weight_norm();
         let eps = self.ball.radius();
         let kappa = self.ball.label_cost();
 
         if kappa.is_infinite() {
             // Flip branch never active: optimum at the constraint floor.
-            let erm: f64 = margins.iter().map(|&m| self.loss.value(m)).sum::<f64>() / n;
+            let erm =
+                dre_parallel::par_sum_indexed(margins.len(), |i| self.loss.value(margins[i])) / n;
             return gamma_lo * eps + erm;
         }
 
         let g = |gamma: f64| -> f64 {
-            let mut total = 0.0;
-            for &m in &margins {
-                total += self
-                    .loss
-                    .value(m)
-                    .max(self.loss.value(-m) - gamma * kappa);
-            }
+            let total = dre_parallel::par_sum_indexed(margins.len(), |i| {
+                let m = margins[i];
+                self.loss.value(m).max(self.loss.value(-m) - gamma * kappa)
+            });
             gamma * eps + total / n
         };
 
@@ -275,42 +272,59 @@ impl<L: MarginLoss> Objective for WassersteinDualObjective<'_, L> {
         }
         grad[d + 1] += eps * dgamma_ds;
 
-        for (x, &y) in self.xs.iter().zip(self.ys) {
-            let m = y * (dre_linalg::vector::dot(w, x) + b);
-            let a = self.loss.value(m);
-            if kappa.is_infinite() {
-                value += a / n;
-                let coeff = self.loss.derivative(m) * y / n;
-                let (gw, gtail) = grad.split_at_mut(d);
-                dre_linalg::vector::axpy(coeff, x, gw);
-                gtail[0] += coeff;
-                continue;
-            }
-            let c = self.loss.value(-m) - gamma * kappa;
-            // Soft-max over the two branches at temperature τ.
-            let mx = a.max(c);
-            let ea = ((a - mx) / tau).exp();
-            let ec = ((c - mx) / tau).exp();
-            let z = ea + ec;
-            let smax = mx + tau * (z).ln();
-            let pa = ea / z;
-            let pc = ec / z;
-            value += smax / n;
+        // Per-sample dual terms: fixed-size chunks with one (value, grad)
+        // accumulator each, merged in chunk order so the summation tree is
+        // identical whether the chunks run serially or across threads.
+        let partials = dre_parallel::par_fold_chunks(
+            self.xs.len(),
+            || (0.0f64, vec![0.0f64; packed.len()]),
+            |mut acc: (f64, Vec<f64>), idx: usize| {
+                let x = &self.xs[idx];
+                let y = self.ys[idx];
+                let (pv, pg) = (&mut acc.0, &mut acc.1);
+                let m = y * (dre_linalg::vector::dot(w, x) + b);
+                let a = self.loss.value(m);
+                if kappa.is_infinite() {
+                    *pv += a / n;
+                    let coeff = self.loss.derivative(m) * y / n;
+                    let (gw, gtail) = pg.split_at_mut(d);
+                    dre_linalg::vector::axpy(coeff, x, gw);
+                    gtail[0] += coeff;
+                    return acc;
+                }
+                let c = self.loss.value(-m) - gamma * kappa;
+                // Soft-max over the two branches at temperature τ.
+                let mx = a.max(c);
+                let ea = ((a - mx) / tau).exp();
+                let ec = ((c - mx) / tau).exp();
+                let z = ea + ec;
+                let smax = mx + tau * (z).ln();
+                let pa = ea / z;
+                let pc = ec / z;
+                *pv += smax / n;
 
-            let da = self.loss.derivative(m) * y;
-            let dc = -self.loss.derivative(-m) * y;
-            let coeff = (pa * da + pc * dc) / n;
-            {
-                let (gw, gtail) = grad.split_at_mut(d);
-                dre_linalg::vector::axpy(coeff, x, gw);
-                gtail[0] += coeff;
+                let da = self.loss.derivative(m) * y;
+                let dc = -self.loss.derivative(-m) * y;
+                let coeff = (pa * da + pc * dc) / n;
+                {
+                    let (gw, gtail) = pg.split_at_mut(d);
+                    dre_linalg::vector::axpy(coeff, x, gw);
+                    gtail[0] += coeff;
+                }
+                // The flip branch carries −γκ: chain through γ(w, s).
+                let dgamma_coeff = -pc * kappa / n;
+                for i in 0..d {
+                    pg[i] += dgamma_coeff * l * w[i] / norm;
+                }
+                pg[d + 1] += dgamma_coeff * dgamma_ds;
+                acc
+            },
+        );
+        for (pv, pg) in partials {
+            value += pv;
+            for (g, p) in grad.iter_mut().zip(&pg) {
+                *g += p;
             }
-            // The flip branch carries −γκ: chain through γ(w, s).
-            let dgamma_coeff = -pc * kappa / n;
-            for i in 0..d {
-                grad[i] += dgamma_coeff * l * w[i] / norm;
-            }
-            grad[d + 1] += dgamma_coeff * dgamma_ds;
         }
         (value, grad)
     }

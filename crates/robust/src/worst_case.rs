@@ -33,20 +33,18 @@ pub fn feature_shift_attack(
         });
     }
     let norm = model.weight_norm();
-    if norm == 0.0 {
-        // Zero model: no direction increases the loss; return unchanged.
+    if norm == 0.0 || budget == 0.0 {
+        // Zero model (no loss-increasing direction) or zero budget: the
+        // attack is the identity; skip the shifted-row construction.
         return Ok(xs.to_vec());
     }
     let dir: Vec<f64> = model.weights().iter().map(|w| w / norm).collect();
-    Ok(xs
-        .iter()
-        .zip(ys)
-        .map(|(x, &y)| {
-            let mut moved = x.clone();
-            dre_linalg::vector::axpy(-y * budget, &dir, &mut moved);
-            moved
-        })
-        .collect())
+    // Write each shifted row directly instead of clone-then-axpy: one pass,
+    // no intermediate copy of the original row.
+    Ok(dre_parallel::par_map_indexed(xs.len(), |i| {
+        let scale = -ys[i] * budget;
+        xs[i].iter().zip(&dir).map(|(xi, di)| xi + scale * di).collect()
+    }))
 }
 
 /// Accuracy of the model after the optimal per-sample ℓ2 feature attack of
@@ -67,11 +65,13 @@ pub fn adversarial_accuracy(
         });
     }
     let attacked = feature_shift_attack(model, xs, ys, budget)?;
-    let correct = attacked
-        .iter()
-        .zip(ys)
-        .filter(|(x, &y)| model.predict(x) == y)
-        .count();
+    // An exact integer count commutes, so the parallel tally is independent
+    // of chunking; the division happens once at the end.
+    let correct: usize = dre_parallel::par_fold_chunks(attacked.len(), || 0usize, |acc, i| {
+        acc + usize::from(model.predict(&attacked[i]) == ys[i])
+    })
+    .into_iter()
+    .sum();
     Ok(correct as f64 / xs.len() as f64)
 }
 
@@ -111,12 +111,8 @@ pub fn certify<L: MarginLoss>(
     let obj = WassersteinDualObjective::new(xs, ys, loss.clone(), ball)?;
     let worst = obj.exact_robust_risk(model);
     let n = xs.len() as f64;
-    let empirical = xs
-        .iter()
-        .zip(ys)
-        .map(|(x, &y)| loss.value(model.margin(x, y)))
-        .sum::<f64>()
-        / n;
+    let empirical =
+        dre_parallel::par_sum_indexed(xs.len(), |i| loss.value(model.margin(&xs[i], ys[i]))) / n;
     Ok(Certificate {
         radius: ball.radius(),
         empirical_risk: empirical,
