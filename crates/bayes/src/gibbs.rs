@@ -3,14 +3,19 @@
 use rand::Rng;
 
 use dre_linalg::Matrix;
-use dre_prob::{Categorical, NiwSufficientStats, NormalInverseWishart};
+use dre_prob::{CategoricalScratch, NiwPosteriorCache, NiwSufficientStats, NormalInverseWishart};
 
 use crate::{BayesError, MixturePrior, Result};
 
-/// Cluster count below which predictive scoring stays serial: each item is
-/// an `O(d³)` factorization, so a handful of clusters already amortizes a
-/// thread spawn.
+/// Cluster count below which **exact-recompute** predictive scoring stays
+/// serial: each item is an `O(d³)` factorization, so a handful of clusters
+/// already amortizes a thread spawn.
 const GIBBS_MIN_PAR_CLUSTERS: usize = 8;
+
+/// Cluster count below which **cached** predictive scoring stays serial.
+/// A cached evaluation is only an `O(d²)` triangular solve, so the spawn
+/// threshold is much higher than on the exact path.
+const GIBBS_MIN_PAR_CLUSTERS_CACHED: usize = 64;
 
 /// Configuration of a collapsed Gibbs run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,6 +31,15 @@ pub struct GibbsConfig {
     /// posterior under this hyperprior (Escobar–West), so the concentration
     /// adapts to the data instead of being hand-tuned.
     pub alpha_prior: Option<crate::ConcentrationPrior>,
+    /// Escape hatch: force the seed's exact-recompute scoring path, which
+    /// refactorizes every cluster posterior from its sufficient statistics
+    /// at every evaluation (`O(d³)` each) instead of using the incremental
+    /// [`NiwPosteriorCache`]. The cached path agrees with the exact one to
+    /// within the cache's documented tolerance (`~1e-8` on log-densities)
+    /// and both consume the identical RNG stream; set this when diagnosing
+    /// a suspected drift or when bit-exact log-joint traces against a
+    /// pre-cache build are required.
+    pub exact_recompute: bool,
 }
 
 impl Default for GibbsConfig {
@@ -35,7 +49,37 @@ impl Default for GibbsConfig {
             burn_in: 50,
             sweeps: 100,
             alpha_prior: None,
+            exact_recompute: false,
         }
+    }
+}
+
+/// Counters describing how much factorization work the predictive cache
+/// saved during a [`DpNiwGibbs::fit`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GibbsCacheStats {
+    /// Posterior-predictive density evaluations against existing clusters
+    /// (the prior predictive is cached in both modes and not counted).
+    pub predictive_evals: u64,
+    /// Full `O(d³)` Cholesky factorizations performed. On the cached path
+    /// this is one template factorization plus one per downdate fallback;
+    /// on the exact path every predictive evaluation pays one.
+    pub factorizations: u64,
+    /// Rank-1 downdates that lost positive definiteness and fell back to a
+    /// jittered refactorization from the sufficient statistics.
+    pub downdate_fallbacks: u64,
+}
+
+impl GibbsCacheStats {
+    /// Fraction of predictive evaluations served without a fresh `O(d³)`
+    /// factorization: `1 − factorizations / predictive_evals` (clamped to
+    /// `[0, 1]`, and `0` when nothing was evaluated).
+    pub fn hit_rate(&self) -> f64 {
+        if self.predictive_evals == 0 {
+            return 0.0;
+        }
+        let miss = self.factorizations as f64 / self.predictive_evals as f64;
+        (1.0 - miss).clamp(0.0, 1.0)
     }
 }
 
@@ -54,6 +98,8 @@ pub struct GibbsResult {
     /// The concentration value used during each sweep (constant unless
     /// [`GibbsConfig::alpha_prior`] is set). Aligned with `cluster_trace`.
     pub alpha_trace: Vec<f64>,
+    /// Factorization-work counters for the run (see [`GibbsCacheStats`]).
+    pub cache_stats: GibbsCacheStats,
 }
 
 impl GibbsResult {
@@ -79,8 +125,12 @@ impl GibbsResult {
 /// p(z_i = new | …) ∝ α  · t(x_i | prior predictive)
 /// ```
 ///
-/// (Neal 2000, Algorithm 3). Sufficient statistics make each move `O(d²)`
-/// plus one `O(d³)` predictive factorization per candidate cluster.
+/// (Neal 2000, Algorithm 3). Scoring uses one [`NiwPosteriorCache`] per
+/// cluster: a point move only touches its source and destination clusters
+/// (one rank-1 downdate and one rank-1 update, `O(d²)` each), while the
+/// other `K − 1` clusters' cached predictives are reused verbatim. The
+/// [`GibbsConfig::exact_recompute`] escape hatch restores the seed's
+/// refactorize-everything scoring.
 #[derive(Debug, Clone)]
 pub struct DpNiwGibbs {
     base: NormalInverseWishart,
@@ -132,12 +182,124 @@ impl DpNiwGibbs {
                 reason: "data dimension differs from base measure",
             });
         }
+        if self.config.exact_recompute {
+            self.fit_exact(data, rng)
+        } else {
+            self.fit_cached(data, rng)
+        }
+    }
+
+    /// Cached scoring path: one [`NiwPosteriorCache`] per cluster, rank-1
+    /// moves, `O(d²)` predictive evaluations.
+    fn fit_cached<R: Rng + ?Sized>(&self, data: &[Vec<f64>], rng: &mut R) -> Result<GibbsResult> {
         let n = data.len();
         let mut alpha = self.config.alpha;
+        let mut stats = GibbsCacheStats::default();
+
+        // The only unavoidable factorization: the prior template, cloned
+        // for every fresh cluster (clones copy the factor, they do not
+        // refactorize).
+        let template = NiwPosteriorCache::new(&self.base)?;
+        stats.factorizations += 1;
 
         // Each point starts at its own table. Singleton initialization
         // avoids the metastable "merged lump" states that Algorithm 3 cannot
         // escape through single-point moves: merges mix fast, splits do not.
+        let mut assignments: Vec<usize> = (0..n).collect();
+        let mut clusters: Vec<NiwPosteriorCache> = data
+            .iter()
+            .map(|x| {
+                let mut c = template.clone();
+                c.insert(x)?;
+                Ok(c)
+            })
+            .collect::<Result<_>>()?;
+
+        // The fresh-table predictive depends only on the base measure —
+        // computed once, shared with the exact path so the new-cluster
+        // weight is bitwise identical across both modes.
+        let prior_pred = self.base.posterior_predictive()?;
+
+        let total_sweeps = self.config.burn_in + self.config.sweeps.max(1);
+        // Trace entry 0 is the initial state, then one entry per sweep.
+        let mut cluster_trace = Vec::with_capacity(total_sweeps + 1);
+        let mut log_joint_trace = Vec::with_capacity(total_sweeps + 1);
+        let mut alpha_trace = Vec::with_capacity(total_sweeps + 1);
+        cluster_trace.push(clusters.len());
+        log_joint_trace.push(log_joint_cached(&assignments, &clusters, alpha)?);
+        alpha_trace.push(alpha);
+
+        // Reusable per-point buffers, hoisted out of the sweep loop.
+        let mut logw: Vec<f64> = Vec::with_capacity(n + 1);
+        let mut scratch = CategoricalScratch::new();
+
+        for _sweep in 0..total_sweeps {
+            for i in 0..n {
+                let x = &data[i];
+                let old = assignments[i];
+                if clusters[old].len() == 1 {
+                    // The point sits alone at its table: removal empties
+                    // the cluster, so delete it outright instead of
+                    // downdating a factor that is about to be dropped.
+                    delete_cluster(&mut clusters, &mut assignments, old);
+                } else if clusters[old].remove(x)? {
+                    stats.downdate_fallbacks += 1;
+                    stats.factorizations += 1;
+                }
+
+                // Candidate log-weights: existing clusters then a new one.
+                // Every cached evaluation is an O(d²) triangular solve; the
+                // K − 1 untouched clusters reuse their predictives as-is.
+                // Sampling itself stays strictly sequential below — the
+                // seeded RNG stream is untouched.
+                let k = clusters.len();
+                logw.resize(k + 1, 0.0);
+                dre_parallel::par_fill_slice_min(
+                    &mut logw[..k],
+                    &clusters,
+                    GIBBS_MIN_PAR_CLUSTERS_CACHED,
+                    |c| (c.len() as f64).ln() + c.predictive_log_pdf(x),
+                );
+                stats.predictive_evals += k as u64;
+                logw[k] = alpha.ln() + prior_pred.log_pdf(x);
+
+                let choice = scratch.sample_from_log_weights(&logw, rng)?;
+                if choice == k {
+                    let mut fresh = template.clone();
+                    fresh.insert(x)?;
+                    clusters.push(fresh);
+                } else {
+                    clusters[choice].insert(x)?;
+                }
+                assignments[i] = choice;
+            }
+            // Optional Escobar–West concentration update.
+            if let Some(prior) = self.config.alpha_prior {
+                alpha = prior.resample(alpha, clusters.len(), n, rng)?;
+            }
+            cluster_trace.push(clusters.len());
+            log_joint_trace.push(log_joint_cached(&assignments, &clusters, alpha)?);
+            alpha_trace.push(alpha);
+        }
+
+        Ok(GibbsResult {
+            assignments,
+            cluster_trace,
+            log_joint_trace,
+            alpha_trace,
+            cache_stats: stats,
+        })
+    }
+
+    /// The seed's exact-recompute scoring path (the
+    /// [`GibbsConfig::exact_recompute`] escape hatch): every evaluation
+    /// refactorizes the cluster posterior from its sufficient statistics.
+    fn fit_exact<R: Rng + ?Sized>(&self, data: &[Vec<f64>], rng: &mut R) -> Result<GibbsResult> {
+        let d = self.base.dim();
+        let n = data.len();
+        let mut alpha = self.config.alpha;
+        let mut stats = GibbsCacheStats::default();
+
         let mut assignments: Vec<usize> = (0..n).collect();
         let mut clusters: Vec<NiwSufficientStats> = data
             .iter()
@@ -148,13 +310,9 @@ impl DpNiwGibbs {
             })
             .collect();
 
-        // The fresh-table predictive depends only on the base measure —
-        // hoist it out of the sweep loop (the seed recomputed this O(d³)
-        // factorization once per point per sweep).
         let prior_pred = self.base.posterior_predictive()?;
 
         let total_sweeps = self.config.burn_in + self.config.sweeps.max(1);
-        // Trace entry 0 is the initial state, then one entry per sweep.
         let mut cluster_trace = Vec::with_capacity(total_sweeps + 1);
         let mut log_joint_trace = Vec::with_capacity(total_sweeps + 1);
         let mut alpha_trace = Vec::with_capacity(total_sweeps + 1);
@@ -162,22 +320,18 @@ impl DpNiwGibbs {
         log_joint_trace.push(self.log_joint_at(&assignments, &clusters, alpha)?);
         alpha_trace.push(alpha);
 
+        // Reusable per-point buffers, hoisted out of the sweep loop.
+        let mut score_buf: Vec<Result<f64>> = Vec::with_capacity(n);
+        let mut logw: Vec<f64> = Vec::with_capacity(n + 1);
+        let mut scratch = CategoricalScratch::new();
+
         for _sweep in 0..total_sweeps {
             for i in 0..n {
                 let x = &data[i];
                 let old = assignments[i];
                 clusters[old].remove(x);
                 if clusters[old].is_empty() {
-                    // Delete the empty cluster and relabel.
-                    clusters.swap_remove(old);
-                    let moved = clusters.len();
-                    if old != moved {
-                        for a in assignments.iter_mut() {
-                            if *a == moved {
-                                *a = old;
-                            }
-                        }
-                    }
+                    delete_cluster(&mut clusters, &mut assignments, old);
                 }
 
                 // Candidate log-weights: existing clusters then a new one.
@@ -185,23 +339,29 @@ impl DpNiwGibbs {
                 // and the clusters are independent, so this is the sweep's
                 // parallel hot path. Sampling itself stays strictly
                 // sequential below — the seeded RNG stream is untouched.
-                let mut logw = dre_parallel::par_map_slice_min(
+                let k = clusters.len();
+                score_buf.clear();
+                score_buf.extend((0..k).map(|_| Ok(0.0)));
+                dre_parallel::par_fill_slice_min(
+                    &mut score_buf,
                     &clusters,
                     GIBBS_MIN_PAR_CLUSTERS,
-                    |stats| -> Result<f64> {
-                        let post = self.base.posterior(stats)?;
+                    |cluster| -> Result<f64> {
+                        let post = self.base.posterior(cluster)?;
                         let pred = post.posterior_predictive()?;
-                        Ok((stats.len() as f64).ln() + pred.log_pdf(x))
+                        Ok((cluster.len() as f64).ln() + pred.log_pdf(x))
                     },
-                )
-                .into_iter()
-                .collect::<Result<Vec<f64>>>()?;
+                );
+                stats.predictive_evals += k as u64;
+                stats.factorizations += k as u64;
+                logw.clear();
+                for r in score_buf.drain(..) {
+                    logw.push(r?);
+                }
                 logw.push(alpha.ln() + prior_pred.log_pdf(x));
 
-                let choice = Categorical::from_log_weights(&logw)
-                    .map_err(BayesError::from)?
-                    .sample_index(rng);
-                if choice == clusters.len() {
+                let choice = scratch.sample_from_log_weights(&logw, rng)?;
+                if choice == k {
                     let mut fresh = NiwSufficientStats::new(d);
                     fresh.insert(x);
                     clusters.push(fresh);
@@ -210,7 +370,6 @@ impl DpNiwGibbs {
                 }
                 assignments[i] = choice;
             }
-            // Optional Escobar–West concentration update.
             if let Some(prior) = self.config.alpha_prior {
                 alpha = prior.resample(alpha, clusters.len(), n, rng)?;
             }
@@ -224,11 +383,13 @@ impl DpNiwGibbs {
             cluster_trace,
             log_joint_trace,
             alpha_trace,
+            cache_stats: stats,
         })
     }
 
     /// Joint log-probability `log p(X, z) = log CRP_α(z) + Σ_k log p(X_k)`
-    /// at the given concentration.
+    /// at the given concentration (exact path: two `O(d³)` factorizations
+    /// per cluster inside `log_marginal_likelihood`).
     fn log_joint_at(
         &self,
         assignments: &[usize],
@@ -299,6 +460,35 @@ impl DpNiwGibbs {
     }
 }
 
+/// Joint log-probability on the cached path: the CRP partition term plus
+/// each cluster's collapsed marginal likelihood read off the cached
+/// log-determinants — `O(d)` per cluster, no factorization.
+fn log_joint_cached(
+    assignments: &[usize],
+    clusters: &[NiwPosteriorCache],
+    alpha: f64,
+) -> Result<f64> {
+    let crp = crate::Crp::new(alpha)?;
+    let mut lp = crp.log_partition_prob(assignments)?;
+    for c in clusters {
+        lp += c.log_marginal_likelihood();
+    }
+    Ok(lp)
+}
+
+/// Deletes cluster `old` by swap-remove and relabels the moved cluster.
+fn delete_cluster<T>(clusters: &mut Vec<T>, assignments: &mut [usize], old: usize) {
+    clusters.swap_remove(old);
+    let moved = clusters.len();
+    if old != moved {
+        for a in assignments.iter_mut() {
+            if *a == moved {
+                *a = old;
+            }
+        }
+    }
+}
+
 /// Posterior-expected covariance `E[Σ] = Ψ / (ν − d − 1)`, widened to the
 /// predictive scale when the degrees of freedom are too small for the mean
 /// to exist.
@@ -348,6 +538,7 @@ mod tests {
                 burn_in: 20,
                 sweeps: 20,
                 alpha_prior: None,
+                exact_recompute: false,
             },
         )
         .unwrap()
@@ -370,6 +561,7 @@ mod tests {
         assert!(g.fit(&[vec![1.0]], &mut rng).is_err());
         assert_eq!(g.config().alpha, 1.0);
         assert_eq!(g.base().dim(), 2);
+        assert!(!g.config().exact_recompute);
     }
 
     #[test]
@@ -416,6 +608,62 @@ mod tests {
         assert!(
             last > first,
             "log joint should improve: first={first}, last={last}"
+        );
+    }
+
+    #[test]
+    fn cached_matches_exact_recompute() {
+        let data = well_separated_data(15);
+        let base = NormalInverseWishart::new(
+            vec![0.0, 0.0],
+            0.05,
+            Matrix::identity(2),
+            5.0,
+        )
+        .unwrap();
+        let cfg = GibbsConfig {
+            alpha: 1.0,
+            burn_in: 10,
+            sweeps: 10,
+            alpha_prior: Some(crate::ConcentrationPrior::vague()),
+            exact_recompute: false,
+        };
+        let cached = DpNiwGibbs::new(base.clone(), cfg).unwrap();
+        let exact = DpNiwGibbs::new(
+            base,
+            GibbsConfig {
+                exact_recompute: true,
+                ..cfg
+            },
+        )
+        .unwrap();
+
+        let mut rng_c = seeded_rng(42);
+        let mut rng_e = seeded_rng(42);
+        let rc = cached.fit(&data, &mut rng_c).unwrap();
+        let re = exact.fit(&data, &mut rng_e).unwrap();
+
+        // Identical RNG stream and score agreement far below the categorical
+        // decision resolution ⇒ identical trajectories.
+        assert_eq!(rc.assignments, re.assignments);
+        assert_eq!(rc.cluster_trace, re.cluster_trace);
+        assert_eq!(rc.alpha_trace, re.alpha_trace);
+        for (a, b) in rc.log_joint_trace.iter().zip(&re.log_joint_trace) {
+            assert!((a - b).abs() < 1e-6, "log joint diverged: {a} vs {b}");
+        }
+
+        // The cached run served essentially every evaluation from cache;
+        // the exact run paid a factorization for every one.
+        assert!(rc.cache_stats.predictive_evals > 0);
+        assert!(
+            rc.cache_stats.hit_rate() > 0.99,
+            "cached hit rate {:?}",
+            rc.cache_stats
+        );
+        assert_eq!(re.cache_stats.hit_rate(), 0.0);
+        assert_eq!(
+            re.cache_stats.factorizations,
+            re.cache_stats.predictive_evals
         );
     }
 
@@ -475,6 +723,7 @@ mod tests {
                 burn_in: 25,
                 sweeps: 25,
                 alpha_prior: Some(crate::ConcentrationPrior::vague()),
+                exact_recompute: false,
             },
         )
         .unwrap();

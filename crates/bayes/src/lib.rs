@@ -10,7 +10,10 @@
 //!   the exact expected-table-count formula used by experiment E10;
 //! * [`DpNiwGibbs`] — a collapsed Gibbs sampler (Neal's Algorithm 3) for the
 //!   DP mixture with a [Normal-Inverse-Wishart](dre_prob::NormalInverseWishart)
-//!   base measure — the cloud-side fitting procedure;
+//!   base measure — the cloud-side fitting procedure. Scoring runs on
+//!   per-cluster incremental predictive caches
+//!   ([`NiwPosteriorCache`](dre_prob::NiwPosteriorCache)), with a
+//!   [`GibbsConfig::exact_recompute`] escape hatch;
 //! * [`VariationalDpGmm`] — a truncated stick-breaking variational-EM
 //!   alternative with deterministic updates;
 //! * [`MixturePrior`] — the finite summary `(w_k, μ_k, Σ_k)` shipped to the
@@ -42,7 +45,7 @@ mod variational;
 pub use concentration::ConcentrationPrior;
 pub use crp::Crp;
 pub use error::BayesError;
-pub use gibbs::{DpNiwGibbs, GibbsConfig, GibbsResult};
+pub use gibbs::{DpNiwGibbs, GibbsCacheStats, GibbsConfig, GibbsResult};
 pub use mixture::{MixtureComponent, MixturePrior, QuadraticSurrogate};
 pub use stick_breaking::StickBreaking;
 pub use variational::{VariationalConfig, VariationalDpGmm, VariationalResult};

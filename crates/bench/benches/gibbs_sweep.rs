@@ -35,6 +35,7 @@ fn bench_dp_fitting(c: &mut Criterion) {
                     burn_in: 0,
                     sweeps: 5,
                     alpha_prior: None,
+                    exact_recompute: false,
                 },
             )
             .unwrap();

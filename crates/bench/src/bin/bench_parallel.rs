@@ -1,18 +1,29 @@
-//! Serial-vs-parallel wall-time comparison for the workspace's hot kernels.
+//! Serial-vs-parallel and cached-vs-recompute wall-time comparison for the
+//! workspace's hot kernels.
 //!
-//! Writes `BENCH_parallel.json` at the repository root: per kernel the best
-//! serial and parallel wall time, the speedup, and a serial/parallel output
-//! diff (which must be 0 — the execution layer guarantees bit-identical
-//! results). On single-core machines the thread speedups hover around 1×,
-//! so the report also times the seed's row-at-a-time matmul against the
-//! current row-blocked kernel, which shows the serial-path win; re-run on a
-//! multi-core machine to measure the threaded speedups.
+//! Writes `BENCH_parallel.json` at the repository root: per kernel the two
+//! wall times, the speedup, and an output diff checked against a per-kernel
+//! tolerance (0 for the execution-layer kernels, which are bit-identical by
+//! construction; the documented cache tolerance for the incremental-Gibbs
+//! kernel). The process exits nonzero when any kernel exceeds its
+//! tolerance, so CI can run it as a correctness smoke test.
+//!
+//! Flags:
+//!
+//! * `--smoke` — shrink every problem size so the run completes in seconds
+//!   and skip rewriting `BENCH_parallel.json`; used by CI.
+//!
+//! On single-core machines the thread speedups hover around 1× (a warning
+//! is printed), so the report also times the seed's row-at-a-time matmul
+//! against the current row-blocked kernel and the exact-recompute Gibbs
+//! against the predictive-cached one — both wins are algorithmic and
+//! visible without threads.
 
 use std::time::Instant;
 
 use dre_bayes::{DpNiwGibbs, GibbsConfig, VariationalConfig, VariationalDpGmm};
 use dre_bench::json::JsonValue;
-use dre_linalg::Matrix;
+use dre_linalg::{Cholesky, Matrix};
 use dre_models::{LinearModel, LogisticLoss};
 use dre_optim::Objective as _;
 use dre_prob::{seeded_rng, MvNormal, NormalInverseWishart};
@@ -62,21 +73,56 @@ fn seed_matmul(a: &Matrix, b: &Matrix) -> Matrix {
     Matrix::from_vec(a.rows(), b.cols(), out).expect("shape matches data")
 }
 
-fn kernel_entry(name: &str, serial_ms: f64, parallel_ms: f64, diff: f64) -> JsonValue {
-    JsonValue::object([
-        ("name", JsonValue::from(name)),
-        ("serial_ms", JsonValue::from(serial_ms)),
-        ("parallel_ms", JsonValue::from(parallel_ms)),
-        ("speedup", JsonValue::from(serial_ms / parallel_ms)),
-        ("max_abs_diff", JsonValue::from(diff)),
-    ])
+/// One benchmarked kernel: the JSON report row plus the tolerance check CI
+/// enforces.
+struct KernelReport {
+    json: JsonValue,
+    name: String,
+    diff: f64,
+    tolerance: f64,
+}
+
+fn kernel_entry(name: &str, serial_ms: f64, parallel_ms: f64, diff: f64, tol: f64) -> KernelReport {
+    KernelReport {
+        json: JsonValue::object([
+            ("name", JsonValue::from(name)),
+            ("serial_ms", JsonValue::from(serial_ms)),
+            ("parallel_ms", JsonValue::from(parallel_ms)),
+            ("speedup", JsonValue::from(serial_ms / parallel_ms)),
+            ("max_abs_diff", JsonValue::from(diff)),
+            ("tolerance", JsonValue::from(tol)),
+        ]),
+        name: name.to_string(),
+        diff,
+        tolerance: tol,
+    }
+}
+
+fn clustered_params(m: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = seeded_rng(seed);
+    let centers = [
+        MvNormal::isotropic(vec![4.0; d], 0.05).expect("valid"),
+        MvNormal::isotropic(vec![-4.0; d], 0.05).expect("valid"),
+        MvNormal::isotropic(vec![0.0; d], 0.05).expect("valid"),
+    ];
+    (0..m)
+        .map(|i| centers[i % centers.len()].sample(&mut rng))
+        .collect()
 }
 
 fn main() {
-    let mut kernels: Vec<JsonValue> = Vec::new();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if dre_parallel::max_threads() <= 1 {
+        eprintln!(
+            "warning: only 1 worker thread available; serial-vs-parallel speedups \
+             will hover around 1x on this host (the seed-vs-tuned and \
+             recompute-vs-cached rows measure algorithmic wins and remain valid)"
+        );
+    }
+    let mut kernels: Vec<KernelReport> = Vec::new();
 
     // -- matmul (tiled kernel, row-parallel) --------------------------------
-    let n = 768;
+    let n = if smoke { 96 } else { 768 };
     let mut rng = seeded_rng(11);
     let a = random_matrix(&mut rng, n, n);
     let b = random_matrix(&mut rng, n, n);
@@ -85,7 +131,7 @@ fn main() {
         dre_parallel::with_serial(|| a.matmul(&b).expect("dims agree"))
     });
     let diff = max_abs_diff(par_out.as_slice(), ser_out.as_slice());
-    kernels.push(kernel_entry(&format!("matmul_{n}x{n}"), ser_ms, par_ms, diff));
+    kernels.push(kernel_entry(&format!("matmul_{n}x{n}"), ser_ms, par_ms, diff, 0.0));
     println!("matmul_{n}x{n}: serial {ser_ms:.2} ms, parallel {par_ms:.2} ms, diff {diff:e}");
 
     let (seed_ms, seed_out) = time_best(5, || seed_matmul(&a, &b));
@@ -104,28 +150,20 @@ fn main() {
     ]);
     println!("  seed kernel {seed_ms:.2} ms -> blocked {ser_ms:.2} ms ({:.2}x)", seed_ms / ser_ms);
 
-    // -- Gibbs sweep scoring ------------------------------------------------
+    // -- Gibbs sweep scoring (serial vs parallel, cached path) ---------------
     let d = 6;
-    let m = 120;
-    let mut rng = seeded_rng(5);
-    let centers = [
-        MvNormal::isotropic(vec![4.0; d], 0.05).expect("valid"),
-        MvNormal::isotropic(vec![-4.0; d], 0.05).expect("valid"),
-        MvNormal::isotropic(vec![0.0; d], 0.05).expect("valid"),
-    ];
-    let params: Vec<Vec<f64>> = (0..m)
-        .map(|i| centers[i % centers.len()].sample(&mut rng))
-        .collect();
-    let gibbs = DpNiwGibbs::new(
-        NormalInverseWishart::vague(d).expect("valid"),
-        GibbsConfig {
-            alpha: 1.0,
-            burn_in: 0,
-            sweeps: 5,
-            alpha_prior: None,
-        },
-    )
-    .expect("valid config");
+    let m = if smoke { 30 } else { 120 };
+    let sweeps = if smoke { 2 } else { 5 };
+    let params = clustered_params(m, d, 5);
+    let cached_cfg = GibbsConfig {
+        alpha: 1.0,
+        burn_in: 0,
+        sweeps,
+        alpha_prior: None,
+        exact_recompute: false,
+    };
+    let base = NormalInverseWishart::vague(d).expect("valid");
+    let gibbs = DpNiwGibbs::new(base.clone(), cached_cfg).expect("valid config");
     let (par_ms, par_fit) = time_best(3, || {
         gibbs.fit(&params, &mut seeded_rng(9)).expect("fit succeeds")
     });
@@ -141,18 +179,152 @@ fn main() {
         .filter(|(x, y)| x != y)
         .count() as f64;
     let diff = mismatches.max(max_abs_diff(&par_fit.log_joint_trace, &ser_fit.log_joint_trace));
-    kernels.push(kernel_entry("gibbs_sweep_scoring_m120", ser_ms, par_ms, diff));
-    println!("gibbs_sweep_scoring_m120: serial {ser_ms:.2} ms, parallel {par_ms:.2} ms, diff {diff:e}");
+    kernels.push(kernel_entry(
+        &format!("gibbs_sweep_scoring_m{m}"),
+        ser_ms,
+        par_ms,
+        diff,
+        0.0,
+    ));
+    println!("gibbs_sweep_scoring_m{m}: serial {ser_ms:.2} ms, parallel {par_ms:.2} ms, diff {diff:e}");
+
+    // -- Gibbs sweep: cached vs exact recompute (both forced serial) --------
+    // The tentpole kernel: identical sampler, identical seed, scoring served
+    // from per-cluster predictive caches vs refactorized from scratch at
+    // every evaluation. Same RNG stream, so assignments and the cluster and
+    // alpha traces must match exactly; the log-joint trace agrees to the
+    // cache's documented tolerance.
+    let exact = DpNiwGibbs::new(
+        base,
+        GibbsConfig {
+            exact_recompute: true,
+            ..cached_cfg
+        },
+    )
+    .expect("valid config");
+    let (cached_ms, cached_fit) = time_best(3, || {
+        dre_parallel::with_serial(|| gibbs.fit(&params, &mut seeded_rng(9)).expect("fit succeeds"))
+    });
+    let (exact_ms, exact_fit) = time_best(3, || {
+        dre_parallel::with_serial(|| exact.fit(&params, &mut seeded_rng(9)).expect("fit succeeds"))
+    });
+    let structural_mismatches = cached_fit
+        .assignments
+        .iter()
+        .zip(&exact_fit.assignments)
+        .filter(|(x, y)| x != y)
+        .count()
+        + cached_fit
+            .cluster_trace
+            .iter()
+            .zip(&exact_fit.cluster_trace)
+            .filter(|(x, y)| x != y)
+            .count()
+        + cached_fit
+            .alpha_trace
+            .iter()
+            .zip(&exact_fit.alpha_trace)
+            .filter(|(x, y)| x != y)
+            .count();
+    let trace_diff = max_abs_diff(&cached_fit.log_joint_trace, &exact_fit.log_joint_trace);
+    let diff = (structural_mismatches as f64).max(trace_diff);
+    let hit_rate = cached_fit.cache_stats.hit_rate();
+    let name = format!("gibbs_sweep_cached_m{m}");
+    kernels.push(KernelReport {
+        json: JsonValue::object([
+            ("name", JsonValue::from(name.as_str())),
+            ("recompute_ms", JsonValue::from(exact_ms)),
+            ("cached_ms", JsonValue::from(cached_ms)),
+            ("speedup", JsonValue::from(exact_ms / cached_ms)),
+            ("max_abs_diff", JsonValue::from(diff)),
+            ("tolerance", JsonValue::from(1e-6)),
+            ("cache_hit_rate", JsonValue::from(hit_rate)),
+        ]),
+        name: name.clone(),
+        diff,
+        tolerance: 1e-6,
+    });
+    println!(
+        "{name}: recompute {exact_ms:.2} ms, cached {cached_ms:.2} ms \
+         ({:.2}x, hit rate {hit_rate:.4}), diff {diff:e}",
+        exact_ms / cached_ms
+    );
+
+    // -- Cholesky rank-1 update vs refactorization --------------------------
+    // Applies a chain of rank-1 updates to a d×d factor two ways: O(d²)
+    // in-place updates against a from-scratch O(d³) refactorization of the
+    // accumulated matrix at every step.
+    let d = if smoke { 16 } else { 64 };
+    let updates = 32;
+    let mut rng = seeded_rng(17);
+    let g = random_matrix(&mut rng, d, d);
+    let spd = {
+        let mut m = g.matmul(&g.transpose()).expect("square");
+        m.add_diag(d as f64);
+        m
+    };
+    let vs: Vec<Vec<f64>> = (0..updates)
+        .map(|_| (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let (rank1_ms, rank1_chol) = time_best(5, || {
+        let mut chol = Cholesky::new(&spd).expect("spd");
+        for v in &vs {
+            chol.rank1_update(v).expect("update succeeds");
+        }
+        chol
+    });
+    let (refac_ms, refac_chol) = time_best(5, || {
+        let mut acc = spd.clone();
+        let mut chol = Cholesky::new(&acc).expect("spd");
+        for v in &vs {
+            for i in 0..d {
+                let row = acc.row_mut(i);
+                for (j, r) in row.iter_mut().enumerate() {
+                    *r += v[i] * v[j];
+                }
+            }
+            chol = Cholesky::new(&acc).expect("spd");
+        }
+        chol
+    });
+    let diff = max_abs_diff(
+        rank1_chol.reconstruct().as_slice(),
+        refac_chol.reconstruct().as_slice(),
+    );
+    let name = format!("chol_rank1_update_d{d}");
+    kernels.push(KernelReport {
+        json: JsonValue::object([
+            ("name", JsonValue::from(name.as_str())),
+            ("refactorize_ms", JsonValue::from(refac_ms)),
+            ("rank1_ms", JsonValue::from(rank1_ms)),
+            ("speedup", JsonValue::from(refac_ms / rank1_ms)),
+            ("max_abs_diff", JsonValue::from(diff)),
+            ("tolerance", JsonValue::from(1e-8)),
+        ]),
+        name: name.clone(),
+        diff,
+        tolerance: 1e-8,
+    });
+    println!(
+        "{name}: refactorize {refac_ms:.2} ms, rank-1 {rank1_ms:.2} ms ({:.2}x), diff {diff:e}",
+        refac_ms / rank1_ms
+    );
 
     // -- Variational EM E-step ----------------------------------------------
+    let em_n = if smoke { 80 } else { 400 };
     let mut rng = seeded_rng(5);
-    let many: Vec<Vec<f64>> = (0..400)
+    let centers = [
+        MvNormal::isotropic(vec![4.0; 6], 0.05).expect("valid"),
+        MvNormal::isotropic(vec![-4.0; 6], 0.05).expect("valid"),
+        MvNormal::isotropic(vec![0.0; 6], 0.05).expect("valid"),
+    ];
+    let many: Vec<Vec<f64>> = (0..em_n)
         .map(|i| centers[i % centers.len()].sample(&mut rng))
         .collect();
     let vb = VariationalDpGmm::new(VariationalConfig {
         alpha: 1.0,
         truncation: 15,
-        max_iters: 30,
+        max_iters: if smoke { 5 } else { 30 },
         ..VariationalConfig::default()
     })
     .expect("valid config");
@@ -164,11 +336,17 @@ fn main() {
     });
     let diff = max_abs_diff(&par_vb.objective_trace, &ser_vb.objective_trace)
         .max(max_abs_diff(&par_vb.weights, &ser_vb.weights));
-    kernels.push(kernel_entry("em_estep_variational_n400", ser_ms, par_ms, diff));
-    println!("em_estep_variational_n400: serial {ser_ms:.2} ms, parallel {par_ms:.2} ms, diff {diff:e}");
+    kernels.push(kernel_entry(
+        &format!("em_estep_variational_n{em_n}"),
+        ser_ms,
+        par_ms,
+        diff,
+        0.0,
+    ));
+    println!("em_estep_variational_n{em_n}: serial {ser_ms:.2} ms, parallel {par_ms:.2} ms, diff {diff:e}");
 
     // -- Wasserstein dual evaluation ----------------------------------------
-    let (n, d) = (10_000, 20);
+    let (n, d) = (if smoke { 500 } else { 10_000 }, 20);
     let mut rng = seeded_rng(7);
     let gen = MvNormal::isotropic(vec![0.0; d], 1.0).expect("valid");
     let xs = gen.sample_n(&mut rng, n);
@@ -194,24 +372,54 @@ fn main() {
         .abs()
         .max(max_abs_diff(&pg, &sg))
         .max((pr - sr).abs());
-    kernels.push(kernel_entry("dual_evaluation_n10000_d20", ser_ms, par_ms, diff));
-    println!("dual_evaluation_n10000_d20: serial {ser_ms:.2} ms, parallel {par_ms:.2} ms, diff {diff:e}");
+    kernels.push(kernel_entry(
+        &format!("dual_evaluation_n{n}_d20"),
+        ser_ms,
+        par_ms,
+        diff,
+        0.0,
+    ));
+    println!("dual_evaluation_n{n}_d20: serial {ser_ms:.2} ms, parallel {par_ms:.2} ms, diff {diff:e}");
 
-    // -- report -------------------------------------------------------------
-    let report = JsonValue::object([
-        (
-            "generated_by",
-            JsonValue::from("cargo run --release -p dre-bench --bin bench_parallel"),
-        ),
-        ("threads", JsonValue::from(dre_parallel::max_threads())),
-        (
-            "parallel_feature",
-            JsonValue::from(cfg!(feature = "parallel")),
-        ),
-        ("kernels", JsonValue::array(kernels)),
-        ("serial_baselines", JsonValue::array([baseline])),
-    ]);
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
-    std::fs::write(path, report.pretty()).expect("write BENCH_parallel.json");
-    println!("wrote {path}");
+    // -- tolerance gate + report --------------------------------------------
+    let mut violations = 0;
+    for k in &kernels {
+        // NaN must fail the gate too, so test "not within tolerance".
+        if k.diff.is_nan() || k.diff > k.tolerance {
+            eprintln!(
+                "FAIL {}: max_abs_diff {:e} exceeds tolerance {:e}",
+                k.name, k.diff, k.tolerance
+            );
+            violations += 1;
+        }
+    }
+
+    if smoke {
+        println!("smoke mode: skipping BENCH_parallel.json rewrite");
+    } else {
+        let report = JsonValue::object([
+            (
+                "generated_by",
+                JsonValue::from("cargo run --release -p dre-bench --bin bench_parallel"),
+            ),
+            ("threads", JsonValue::from(dre_parallel::max_threads())),
+            (
+                "parallel_feature",
+                JsonValue::from(cfg!(feature = "parallel")),
+            ),
+            (
+                "kernels",
+                JsonValue::array(kernels.into_iter().map(|k| k.json).collect::<Vec<_>>()),
+            ),
+            ("serial_baselines", JsonValue::array([baseline])),
+        ]);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+        std::fs::write(path, report.pretty()).expect("write BENCH_parallel.json");
+        println!("wrote {path}");
+    }
+
+    if violations > 0 {
+        eprintln!("{violations} kernel(s) out of tolerance");
+        std::process::exit(1);
+    }
 }

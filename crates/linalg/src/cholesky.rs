@@ -230,6 +230,120 @@ impl Cholesky {
         // L·Lᵀ always conformable.
         self.l.matmul(&self.l.transpose()).expect("dimension invariant")
     }
+
+    /// Factor of the scaled matrix `c·A`, i.e. `√c·L`, without touching `A`.
+    ///
+    /// The NIW posterior-predictive scale is a scalar multiple of the
+    /// posterior scale matrix `Ψₙ`, so a cached factor of `Ψₙ` yields the
+    /// predictive's factor in `O(d²)` through this method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NonFinite`] unless `c > 0` and finite.
+    pub fn scaled(&self, c: f64) -> Result<Self> {
+        if !(c > 0.0 && c.is_finite()) {
+            return Err(LinalgError::NonFinite { op: "cholesky scale" });
+        }
+        let s = c.sqrt();
+        let mut l = self.l.clone();
+        let n = l.rows();
+        for i in 0..n {
+            for j in 0..=i {
+                l[(i, j)] *= s;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Rank-1 **update**: replaces the factor of `A` with the factor of
+    /// `A + vvᵀ` in `O(d²)` (one pass of Givens-style rotations), instead of
+    /// the `O(d³)` refactorization.
+    ///
+    /// The update always succeeds on finite input because `A + vvᵀ` is
+    /// positive definite whenever `A` is.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] when `v.len() != self.dim()`.
+    /// * [`LinalgError::NonFinite`] when `v` contains NaN/inf (the factor is
+    ///   left unchanged).
+    pub fn rank1_update(&mut self, v: &[f64]) -> Result<()> {
+        let n = self.dim();
+        if v.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "rank1_update",
+                lhs: (n, n),
+                rhs: (v.len(), 1),
+            });
+        }
+        if !v.iter().all(|x| x.is_finite()) {
+            return Err(LinalgError::NonFinite { op: "rank1_update" });
+        }
+        let mut w = v.to_vec();
+        for k in 0..n {
+            let lkk = self.l[(k, k)];
+            let r = lkk.hypot(w[k]);
+            let c = r / lkk;
+            let s = w[k] / lkk;
+            self.l[(k, k)] = r;
+            for i in (k + 1)..n {
+                let lik = (self.l[(i, k)] + s * w[i]) / c;
+                w[i] = c * w[i] - s * lik;
+                self.l[(i, k)] = lik;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rank-1 **downdate**: replaces the factor of `A` with the factor of
+    /// `A − vvᵀ` in `O(d²)`.
+    ///
+    /// Unlike [`Cholesky::rank1_update`] this can fail: `A − vvᵀ` may be
+    /// indefinite, or close enough to singular that the hyperbolic rotations
+    /// lose positivity in floating point. On failure the factor is left
+    /// **unchanged** so the caller can fall back to a jittered
+    /// refactorization of the explicitly tracked matrix.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] when `v.len() != self.dim()`.
+    /// * [`LinalgError::NonFinite`] when `v` contains NaN/inf.
+    /// * [`LinalgError::NotPositiveDefinite`] when `A − vvᵀ` is not
+    ///   numerically positive definite.
+    pub fn rank1_downdate(&mut self, v: &[f64]) -> Result<()> {
+        let n = self.dim();
+        if v.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "rank1_downdate",
+                lhs: (n, n),
+                rhs: (v.len(), 1),
+            });
+        }
+        if !v.iter().all(|x| x.is_finite()) {
+            return Err(LinalgError::NonFinite { op: "rank1_downdate" });
+        }
+        // Work on a copy so a mid-pass failure leaves `self` intact.
+        let mut l = self.l.clone();
+        let mut w = v.to_vec();
+        for k in 0..n {
+            let lkk = l[(k, k)];
+            let d = lkk * lkk - w[k] * w[k];
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: k, value: d });
+            }
+            let r = d.sqrt();
+            let c = r / lkk;
+            let s = w[k] / lkk;
+            l[(k, k)] = r;
+            for i in (k + 1)..n {
+                let lik = (l[(i, k)] - s * w[i]) / c;
+                w[i] = c * w[i] - s * lik;
+                l[(i, k)] = lik;
+            }
+        }
+        self.l = l;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -342,7 +456,102 @@ mod tests {
         assert!(ch.factor_matvec(&[1.0]).is_err());
     }
 
+    #[test]
+    fn scaled_factor_matches_scaled_matrix() {
+        let a = spd3();
+        let ch = Cholesky::new(&a).unwrap();
+        let sc = ch.scaled(2.5).unwrap();
+        let direct = Cholesky::new(&a.scaled(2.5)).unwrap();
+        assert!(
+            sc.factor_l()
+                .sub(direct.factor_l())
+                .unwrap()
+                .frobenius_norm()
+                < 1e-10
+        );
+        assert!((sc.log_det() - (ch.log_det() + 3.0 * 2.5f64.ln())).abs() < 1e-12);
+        assert!(ch.scaled(0.0).is_err());
+        assert!(ch.scaled(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rank1_update_matches_refactorization() {
+        let a = spd3();
+        let v = [0.7, -1.2, 0.4];
+        let mut ch = Cholesky::new(&a).unwrap();
+        ch.rank1_update(&v).unwrap();
+        let direct = a.add(&Matrix::outer(&v, &v)).unwrap();
+        let expect = Cholesky::new(&direct).unwrap();
+        assert!(
+            ch.factor_l().sub(expect.factor_l()).unwrap().frobenius_norm() < 1e-10
+        );
+        assert!(ch.rank1_update(&[1.0]).is_err());
+        assert!(ch.rank1_update(&[f64::NAN, 0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn rank1_downdate_reverses_update() {
+        let a = spd3();
+        let v = [0.7, -1.2, 0.4];
+        let mut ch = Cholesky::new(&a).unwrap();
+        ch.rank1_update(&v).unwrap();
+        ch.rank1_downdate(&v).unwrap();
+        let expect = Cholesky::new(&a).unwrap();
+        assert!(
+            ch.factor_l().sub(expect.factor_l()).unwrap().frobenius_norm() < 1e-9
+        );
+        assert!(ch.rank1_downdate(&[1.0]).is_err());
+        assert!(ch.rank1_downdate(&[f64::INFINITY, 0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn rank1_downdate_failure_leaves_factor_unchanged() {
+        let a = spd3();
+        let mut ch = Cholesky::new(&a).unwrap();
+        let before = ch.factor_l().clone();
+        // A − vvᵀ is indefinite for v far larger than A's spectrum.
+        let err = ch.rank1_downdate(&[10.0, 0.0, 0.0]).unwrap_err();
+        assert!(matches!(err, LinalgError::NotPositiveDefinite { .. }));
+        assert_eq!(ch.factor_l().sub(&before).unwrap().frobenius_norm(), 0.0);
+        // The untouched factor still works.
+        ch.rank1_update(&[0.1, 0.1, 0.1]).unwrap();
+        assert!(ch.log_det().is_finite());
+    }
+
     proptest! {
+        #[test]
+        fn prop_rank1_update_downdate_track_refactorization(
+            n in 1usize..6,
+            seed in proptest::collection::vec(-2.0..2.0f64, 48),
+        ) {
+            let data: Vec<f64> = seed.iter().cycle().take(n * n).cloned().collect();
+            let b = Matrix::from_vec(n, n, data).unwrap();
+            let mut a = b.matmul(&b.transpose()).unwrap();
+            a.add_diag(1.0);
+            let mut ch = Cholesky::new(&a).unwrap();
+            // Apply a chain of updates and matching downdates; the factor
+            // must track the explicitly refactorized matrix throughout.
+            let vs: Vec<Vec<f64>> = (0..4)
+                .map(|r| seed.iter().skip(r).take(n).cloned().collect())
+                .collect();
+            for v in &vs {
+                ch.rank1_update(v).unwrap();
+                a = a.add(&Matrix::outer(v, v)).unwrap();
+                let direct = Cholesky::new(&a).unwrap();
+                prop_assert!(
+                    ch.factor_l().sub(direct.factor_l()).unwrap().frobenius_norm() < 1e-8
+                );
+            }
+            for v in vs.iter().rev() {
+                ch.rank1_downdate(v).unwrap();
+                a = a.sub(&Matrix::outer(v, v)).unwrap();
+                let direct = Cholesky::new(&a).unwrap();
+                prop_assert!(
+                    ch.factor_l().sub(direct.factor_l()).unwrap().frobenius_norm() < 1e-8
+                );
+            }
+        }
+
         #[test]
         fn prop_factor_solve_roundtrip(
             n in 1usize..5,

@@ -229,6 +229,73 @@ where
     par_map_indexed_min(xs.len(), min_par, |i| f(&xs[i]))
 }
 
+/// Order-preserving map over a slice **into a caller-provided buffer**, so
+/// hot loops (e.g. per-point Gibbs scoring) can reuse one allocation across
+/// millions of calls instead of collecting a fresh `Vec` each time.
+///
+/// Each output element is written by exactly one worker, so the result is
+/// bit-identical under any thread count. Falls back to a plain serial loop
+/// below `min_par` items.
+///
+/// # Panics
+///
+/// Panics when `out.len() != xs.len()`.
+pub fn par_fill_slice_min<T, U, F>(out: &mut [U], xs: &[T], min_par: usize, f: F)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    assert_eq!(out.len(), xs.len(), "par_fill_slice_min buffer mismatch");
+    let n = xs.len();
+    let workers = effective_threads();
+    if workers <= 1 || n < min_par.max(2) {
+        for (o, x) in out.iter_mut().zip(xs) {
+            *o = f(x);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers * 4).max(1);
+    par_fill_parallel(out, xs, chunk, workers, &f);
+}
+
+#[cfg(feature = "parallel")]
+fn par_fill_parallel<T, U, F>(out: &mut [U], xs: &[T], chunk: usize, workers: usize, f: &F)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    // Round-robin disjoint output chunks to one bucket per worker; every
+    // element has exactly one writer regardless of scheduling.
+    let mut buckets: Vec<Vec<(usize, &mut [U])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (c, slot) in out.chunks_mut(chunk).enumerate() {
+        buckets[c % workers].push((c, slot));
+    }
+    std::thread::scope(|s| {
+        for bucket in buckets {
+            s.spawn(move || {
+                for (c, slot) in bucket {
+                    let start = c * chunk;
+                    for (j, o) in slot.iter_mut().enumerate() {
+                        *o = f(&xs[start + j]);
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(not(feature = "parallel"))]
+fn par_fill_parallel<T, U, F>(_: &mut [U], _: &[T], _: usize, _: usize, _: &F)
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    unreachable!("effective_threads() is 1 without the `parallel` feature")
+}
+
 /// Fallible order-preserving indexed map. On failure, returns the error of
 /// the **lowest failing index** (scanning chunk results in order), so error
 /// selection is deterministic under any scheduling.
@@ -379,6 +446,32 @@ mod tests {
             parts,
             vec![REDUCE_CHUNK, REDUCE_CHUNK, REDUCE_CHUNK, 5]
         );
+    }
+
+    #[test]
+    fn fill_slice_matches_map_and_serial() {
+        let xs: Vec<f64> = (0..5000).map(|i| i as f64 * 0.11).collect();
+        let f = |x: &f64| (x * 0.37).sin() / (1.0 + x);
+        let mut buf = vec![0.0f64; xs.len()];
+        par_fill_slice_min(&mut buf, &xs, 1, f);
+        let mapped = par_map_slice_min(&xs, 1, f);
+        assert_eq!(buf, mapped);
+        let mut ser = vec![0.0f64; xs.len()];
+        with_serial(|| par_fill_slice_min(&mut ser, &xs, 1, f));
+        for (p, s) in buf.iter().zip(&ser) {
+            assert_eq!(p.to_bits(), s.to_bits());
+        }
+        // Empty input is a no-op.
+        let mut empty: Vec<f64> = Vec::new();
+        par_fill_slice_min(&mut empty, &[], 1, f);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer mismatch")]
+    fn fill_slice_rejects_length_mismatch() {
+        let mut buf = vec![0.0f64; 2];
+        par_fill_slice_min(&mut buf, &[1.0], 1, |x: &f64| *x);
     }
 
     #[test]

@@ -12,7 +12,11 @@
 //!   [`Dirichlet`], [`Wishart`], [`InverseWishart`];
 //! * the [`NormalInverseWishart`] conjugate prior with closed-form posterior
 //!   updates, posterior-predictive densities and marginal likelihoods — the
-//!   base measure of the Dirichlet-process mixtures in `dre-bayes`.
+//!   base measure of the Dirichlet-process mixtures in `dre-bayes`;
+//! * [`NiwPosteriorCache`] — the incremental NIW posterior that maintains
+//!   its scale's Cholesky factor under rank-1 update/downdate and keeps the
+//!   predictive Student-t cached, so a Gibbs point move costs `O(d²)`
+//!   instead of an `O(d³)` refactorization.
 //!
 //! All sampling goes through [`rand::Rng`], so callers control seeding and
 //! reproducibility; [`seeded_rng`] provides the workspace's standard
@@ -38,6 +42,7 @@ mod error;
 mod mvn;
 mod mvt;
 mod niw;
+mod niw_cache;
 pub mod special;
 mod univariate;
 mod wishart;
@@ -47,7 +52,8 @@ pub use error::ProbError;
 pub use mvn::MvNormal;
 pub use mvt::MvStudentT;
 pub use niw::{NiwSufficientStats, NormalInverseWishart};
-pub use univariate::{Bernoulli, Beta, Categorical, Gamma, Normal, StudentT};
+pub use niw_cache::NiwPosteriorCache;
+pub use univariate::{Bernoulli, Beta, Categorical, CategoricalScratch, Gamma, Normal, StudentT};
 pub use wishart::{InverseWishart, Wishart};
 
 use rand::rngs::StdRng;

@@ -60,6 +60,36 @@ impl MvStudentT {
             });
         }
         let chol = Cholesky::new_with_jitter(scale, 1e-6)?;
+        Self::from_factor(dof, loc, chol)
+    }
+
+    /// Creates a multivariate Student-t from an **already-factored** scale
+    /// matrix, skipping the `O(d³)` factorization [`MvStudentT::new`] would
+    /// perform.
+    ///
+    /// This is the constructor the incremental NIW posterior cache uses: it
+    /// maintains the posterior scale's Cholesky factor under rank-1
+    /// update/downdate and rebuilds the predictive in `O(d²)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ProbError::InvalidParameter`] unless `dof > 0`.
+    /// * [`ProbError::InvalidDimension`] when `loc` is empty or mismatched
+    ///   with `chol`.
+    pub fn from_factor(dof: f64, loc: Vec<f64>, chol: Cholesky) -> Result<Self> {
+        if !(dof > 0.0 && dof.is_finite()) {
+            return Err(ProbError::InvalidParameter {
+                what: "mv_student_t",
+                param: "dof",
+                value: dof,
+            });
+        }
+        if loc.is_empty() || loc.len() != chol.dim() {
+            return Err(ProbError::InvalidDimension {
+                what: "mv_student_t",
+                dim: loc.len(),
+            });
+        }
         let d = loc.len() as f64;
         let log_norm = ln_gamma(0.5 * (dof + d))
             - ln_gamma(0.5 * dof)
@@ -71,6 +101,11 @@ impl MvStudentT {
             chol,
             log_norm,
         })
+    }
+
+    /// Log-determinant of the scale matrix (from the cached factor).
+    pub fn scale_log_det(&self) -> f64 {
+        self.chol.log_det()
     }
 
     /// Degrees of freedom `ν`.
@@ -177,6 +212,28 @@ mod tests {
         assert_eq!(t.dim(), 2);
         assert_eq!(t.dof(), 8.0);
         assert_eq!(t.loc(), &[2.0, -1.0]);
+    }
+
+    #[test]
+    fn from_factor_matches_new() {
+        let scale = Matrix::from_rows(&[&[1.5, 0.2], &[0.2, 0.8]]).unwrap();
+        let via_new = MvStudentT::new(4.0, vec![0.5, -0.5], &scale).unwrap();
+        let chol = dre_linalg::Cholesky::new(&scale).unwrap();
+        let via_factor = MvStudentT::from_factor(4.0, vec![0.5, -0.5], chol).unwrap();
+        for pt in [[0.5, -0.5], [1.0, 0.0], [-2.0, 1.5]] {
+            assert_eq!(
+                via_new.log_pdf(&pt).to_bits(),
+                via_factor.log_pdf(&pt).to_bits(),
+                "log_pdf must be identical at {pt:?}"
+            );
+        }
+        assert_eq!(
+            via_new.scale_log_det().to_bits(),
+            via_factor.scale_log_det().to_bits()
+        );
+        let chol = dre_linalg::Cholesky::new(&scale).unwrap();
+        assert!(MvStudentT::from_factor(0.0, vec![0.0; 2], chol.clone()).is_err());
+        assert!(MvStudentT::from_factor(2.0, vec![0.0; 3], chol).is_err());
     }
 
     #[test]

@@ -408,6 +408,84 @@ impl Categorical {
     }
 }
 
+/// Reusable scratch buffers for repeated categorical draws from log-weights.
+///
+/// [`Categorical::from_log_weights`] allocates three vectors per call; inner
+/// loops that draw once per data point per sweep (the collapsed Gibbs
+/// sampler) instead keep one `CategoricalScratch` alive and call
+/// [`CategoricalScratch::sample_from_log_weights`], which performs the exact
+/// same arithmetic — same normalization order, same single `gen_range` call,
+/// same binary search — so the drawn index and the RNG stream are identical
+/// to the allocating path.
+#[derive(Debug, Clone, Default)]
+pub struct CategoricalScratch {
+    w: Vec<f64>,
+    cdf: Vec<f64>,
+}
+
+impl CategoricalScratch {
+    /// Creates empty scratch buffers (they grow to the first draw's size).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws a category index from unnormalized log-weights, reusing the
+    /// internal buffers. Behaviorally identical to
+    /// `Categorical::from_log_weights(log_weights)?.sample_index(rng)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Categorical::from_log_weights`] / [`Categorical::new`].
+    pub fn sample_from_log_weights<R: Rng + ?Sized>(
+        &mut self,
+        log_weights: &[f64],
+        rng: &mut R,
+    ) -> Result<usize> {
+        if log_weights.is_empty() {
+            return Err(ProbError::InvalidDimension {
+                what: "categorical",
+                dim: 0,
+            });
+        }
+        self.w.clear();
+        self.w.extend_from_slice(log_weights);
+        dre_linalg::vector::softmax_in_place(&mut self.w);
+        let mut total = 0.0;
+        for &w in &self.w {
+            if !(w >= 0.0 && w.is_finite()) {
+                return Err(ProbError::InvalidParameter {
+                    what: "categorical",
+                    param: "weight",
+                    value: w,
+                });
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(ProbError::InvalidParameter {
+                what: "categorical",
+                param: "total_weight",
+                value: total,
+            });
+        }
+        self.cdf.clear();
+        let mut acc = 0.0;
+        for &w in &self.w {
+            acc += w / total;
+            self.cdf.push(acc);
+        }
+        *self.cdf.last_mut().expect("nonempty") = 1.0;
+        let u: f64 = rng.gen_range(0.0..1.0);
+        Ok(match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) => (i + 1).min(self.cdf.len() - 1),
+            Err(i) => i,
+        })
+    }
+}
+
 impl Distribution for Categorical {
     fn log_pdf(&self, x: f64) -> f64 {
         let i = x as usize;
@@ -618,6 +696,35 @@ mod tests {
             counts[c.sample_index(&mut rng)] += 1;
         }
         assert!((counts[1] as f64 / N as f64 - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn categorical_scratch_matches_allocating_path() {
+        let mut scratch = CategoricalScratch::new();
+        let cases: Vec<Vec<f64>> = vec![
+            vec![-1.0, -2.0, 0.5],
+            vec![-1000.0, -1000.0 + 2.0f64.ln()],
+            vec![f64::NEG_INFINITY; 4],
+            vec![0.0],
+            vec![3.0, -700.0, 2.9, 3.1, -0.2, 1.0],
+        ];
+        for (s, logw) in cases.iter().enumerate() {
+            // Identical u-draw → identical index, and the streams stay in
+            // lock-step because both paths consume exactly one gen_range.
+            let mut r1 = seeded_rng(40 + s as u64);
+            let mut r2 = seeded_rng(40 + s as u64);
+            for _ in 0..50 {
+                let a = Categorical::from_log_weights(logw)
+                    .unwrap()
+                    .sample_index(&mut r1);
+                let b = scratch.sample_from_log_weights(logw, &mut r2).unwrap();
+                assert_eq!(a, b, "weights {logw:?}");
+            }
+        }
+        assert!(scratch.sample_from_log_weights(&[], &mut seeded_rng(1)).is_err());
+        assert!(scratch
+            .sample_from_log_weights(&[f64::NAN, 0.0], &mut seeded_rng(1))
+            .is_err());
     }
 
     #[test]

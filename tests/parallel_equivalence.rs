@@ -102,6 +102,7 @@ fn gibbs_fit_matches_serial_exactly() {
             burn_in: 1,
             sweeps: 4,
             alpha_prior: None,
+            exact_recompute: false,
         },
     )
     .unwrap();
@@ -113,6 +114,63 @@ fn gibbs_fit_matches_serial_exactly() {
     assert_eq!(par.cluster_trace, ser.cluster_trace);
     assert_bits_eq(&par.log_joint_trace, &ser.log_joint_trace, "gibbs log joint");
     assert_bits_eq(&par.alpha_trace, &ser.alpha_trace, "gibbs alpha trace");
+}
+
+/// The predictive-cached scoring path must reproduce the exact-recompute
+/// escape hatch: both consume the identical RNG stream and their scores
+/// agree far below the categorical decision resolution, so the sampled
+/// trajectory — assignments, cluster trace, alpha trace — is identical,
+/// and the log-joint trace agrees to the cache's documented tolerance.
+/// Runs under both the `parallel` and `--no-default-features` builds, and
+/// additionally under `with_serial`, covering the thread-count axis.
+#[test]
+fn gibbs_cached_matches_exact_recompute_trace() {
+    let data = clustered_params(60, 4, 21);
+    let cfg = GibbsConfig {
+        alpha: 1.2,
+        burn_in: 2,
+        sweeps: 4,
+        alpha_prior: Some(dre_bayes::ConcentrationPrior::vague()),
+        exact_recompute: false,
+    };
+    let base = NormalInverseWishart::vague(4).unwrap();
+    let cached = DpNiwGibbs::new(base.clone(), cfg).unwrap();
+    let exact = DpNiwGibbs::new(
+        base,
+        GibbsConfig {
+            exact_recompute: true,
+            ..cfg
+        },
+    )
+    .unwrap();
+
+    let rc = cached.fit(&data, &mut seeded_rng(8)).unwrap();
+    let re = exact.fit(&data, &mut seeded_rng(8)).unwrap();
+    let rc_serial =
+        dre_parallel::with_serial(|| cached.fit(&data, &mut seeded_rng(8)).unwrap());
+
+    assert_eq!(rc.assignments, re.assignments, "cached vs exact assignments");
+    assert_eq!(rc.cluster_trace, re.cluster_trace, "cached vs exact clusters");
+    assert_bits_eq(&rc.alpha_trace, &re.alpha_trace, "cached vs exact alpha");
+    assert_eq!(rc.log_joint_trace.len(), re.log_joint_trace.len());
+    for (i, (a, b)) in rc.log_joint_trace.iter().zip(&re.log_joint_trace).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-6,
+            "log joint entry {i} diverged: cached {a} vs exact {b}"
+        );
+    }
+
+    // The cached path itself is serial/parallel bit-identical.
+    assert_eq!(rc.assignments, rc_serial.assignments);
+    assert_bits_eq(&rc.log_joint_trace, &rc_serial.log_joint_trace, "cached serial");
+
+    // And the cache actually did its job.
+    assert!(
+        rc.cache_stats.hit_rate() > 0.99,
+        "cache hit rate too low: {:?}",
+        rc.cache_stats
+    );
+    assert_eq!(re.cache_stats.hit_rate(), 0.0);
 }
 
 #[test]
