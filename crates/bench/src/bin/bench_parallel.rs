@@ -21,9 +21,10 @@
 
 use std::time::Instant;
 
-use dre_bayes::{DpNiwGibbs, GibbsConfig, VariationalConfig, VariationalDpGmm};
+use dre_bayes::{DpNiwGibbs, GibbsConfig, MixturePrior, VariationalConfig, VariationalDpGmm};
 use dre_bench::json::JsonValue;
 use dre_linalg::{Cholesky, Matrix};
+use dre_serve::{PriorClient, PriorServer, RetryPolicy, ServeConfig, TcpConnector};
 use dre_models::{LinearModel, LogisticLoss};
 use dre_optim::Objective as _;
 use dre_prob::{seeded_rng, MvNormal, NormalInverseWishart};
@@ -380,6 +381,88 @@ fn main() {
         0.0,
     ));
     println!("dual_evaluation_n{n}_d20: serial {ser_ms:.2} ms, parallel {par_ms:.2} ms, diff {diff:e}");
+
+    // -- serve loopback throughput ------------------------------------------
+    // A real TCP prior server on loopback; requests/sec fetching a fitted
+    // prior with 1 client thread vs a small fleet. The diff counts payloads
+    // that arrived byte-different from the registered one — the frame CRC
+    // makes that impossible, so the tolerance is zero.
+    let pdim = 21; // packed parameters of a 20-feature model
+    let prior = MixturePrior::new(
+        (0..4)
+            .map(|i| {
+                let mut cov = Matrix::identity(pdim);
+                cov.add_diag(0.5);
+                (1.0, vec![i as f64; pdim], cov)
+            })
+            .collect(),
+    )
+    .expect("valid prior");
+    let client_threads = dre_parallel::max_threads().clamp(2, 8);
+    let mut server = PriorServer::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: client_threads,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    server.register_prior(1, &prior);
+    let addr = server.addr();
+    let expected = std::sync::Arc::new(dro_edge::transfer::serialize_prior(&prior));
+    let total_requests = if smoke { 64 } else { 512 };
+    let run_fleet = |threads: usize| -> usize {
+        let per = total_requests / threads;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let expected = std::sync::Arc::clone(&expected);
+                std::thread::spawn(move || {
+                    let mut client =
+                        PriorClient::new(TcpConnector::new(addr), RetryPolicy::default());
+                    let mut corrupted = 0usize;
+                    for _ in 0..per {
+                        let payload =
+                            client.fetch_prior_payload(1).expect("loopback fetch");
+                        if payload.as_slice() != expected.as_slice() {
+                            corrupted += 1;
+                        }
+                    }
+                    corrupted
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum()
+    };
+    let (one_ms, bad_one) = time_best(3, || run_fleet(1));
+    let (fleet_ms, bad_fleet) = time_best(3, || run_fleet(client_threads));
+    server.shutdown();
+    let diff = (bad_one + bad_fleet) as f64;
+    let rps_one = total_requests as f64 / (one_ms / 1e3);
+    let rps_fleet = total_requests as f64 / (fleet_ms / 1e3);
+    let name = format!("serve_loopback_rps_c{client_threads}");
+    kernels.push(KernelReport {
+        json: JsonValue::object([
+            ("name", JsonValue::from(name.as_str())),
+            ("one_client_ms", JsonValue::from(one_ms)),
+            ("fleet_ms", JsonValue::from(fleet_ms)),
+            ("speedup", JsonValue::from(one_ms / fleet_ms)),
+            ("requests", JsonValue::from(total_requests)),
+            ("rps_one_client", JsonValue::from(rps_one)),
+            ("rps_fleet", JsonValue::from(rps_fleet)),
+            ("max_abs_diff", JsonValue::from(diff)),
+            ("tolerance", JsonValue::from(0.0)),
+        ]),
+        name: name.clone(),
+        diff,
+        tolerance: 0.0,
+    });
+    println!(
+        "{name}: 1 client {one_ms:.2} ms ({rps_one:.0} req/s), {client_threads} clients \
+         {fleet_ms:.2} ms ({rps_fleet:.0} req/s), corrupted payloads {diff}"
+    );
 
     // -- tolerance gate + report --------------------------------------------
     let mut violations = 0;

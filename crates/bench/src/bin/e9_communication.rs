@@ -10,22 +10,24 @@
 //! is contended.
 
 use dre_bench::{standard_cloud, standard_family, Table};
-use dre_edgesim::{ComputeModel, DeviceSpec, Link, Scenario, Strategy};
+use dre_edgesim::{prior_transfer_bytes, ComputeModel, DeviceSpec, Link, Scenario, Strategy};
 
 fn main() {
     let (family, mut rng) = standard_family(909);
     let cloud = standard_cloud(&family, 40, 1.0, &mut rng);
-    let prior_bytes = cloud.transfer_size_bytes() as u64;
-    println!(
-        "fitted prior: {} components, {} bytes serialized",
-        cloud.prior().num_components(),
-        prior_bytes
-    );
+    let prior_components = cloud.prior().num_components();
 
     // A digits-scale workload: 64 features, 500 local samples — raw upload
-    // is ~256 KB, the prior under 1 KB per the fitted size above.
+    // is ~256 KB, the framed prior a few KB per the measured size below.
     let dim = 64;
     let samples = 500;
+    println!(
+        "fitted prior: {} components → {} bytes on the wire at dim {} \
+         (measured dre-serve frame size, not an assumed constant)",
+        prior_components,
+        prior_transfer_bytes(prior_components, dim),
+        dim
+    );
     let link = Link::new_ms(25.0, 250_000.0); // 25 ms one way, 250 KB/s
 
     // Device ≈ Raspberry-Pi class; the two cloud profiles.
@@ -69,7 +71,7 @@ fn main() {
                         dim,
                         iterations: 100,
                         em_rounds: 5,
-                        prior_bytes,
+                        prior_components,
                     },
                 ),
             ] {

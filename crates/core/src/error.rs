@@ -18,6 +18,22 @@ pub enum EdgeError {
         /// Human-readable description of the problem.
         reason: &'static str,
     },
+    /// A serialized prior declares a wire-format version this build does
+    /// not understand. Typed (rather than folded into [`Self::InvalidData`])
+    /// so the serving layer can classify it as fatal rather than retryable.
+    UnsupportedVersion {
+        /// Version byte found in the payload.
+        found: u8,
+        /// The single version this build supports.
+        supported: u8,
+    },
+    /// A serialized prior carries extra bytes after its last component —
+    /// either truncated framing upstream or a tampered payload. Typed so
+    /// callers can distinguish it from a merely short payload.
+    TrailingBytes {
+        /// Number of unconsumed bytes after the declared components.
+        extra: usize,
+    },
     /// A Bayesian-layer failure (prior fitting, responsibilities).
     Bayes(dre_bayes::BayesError),
     /// A robust-optimization-layer failure.
@@ -39,6 +55,13 @@ impl fmt::Display for EdgeError {
                 write!(f, "invalid configuration {param}={value}")
             }
             EdgeError::InvalidData { reason } => write!(f, "invalid data: {reason}"),
+            EdgeError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported prior payload version {found} (this build speaks {supported})"
+            ),
+            EdgeError::TrailingBytes { extra } => {
+                write!(f, "prior payload has {extra} trailing byte(s) after the last component")
+            }
             EdgeError::Bayes(e) => write!(f, "bayes failure: {e}"),
             EdgeError::Robust(e) => write!(f, "robust failure: {e}"),
             EdgeError::Optim(e) => write!(f, "solver failure: {e}"),

@@ -21,7 +21,22 @@ use dre_linalg::Matrix;
 use crate::{EdgeError, Result};
 
 const MAGIC: u32 = 0x4452_4F45; // "DROE"
-const VERSION: u8 = 1;
+
+/// The single wire-format version this build reads and writes.
+pub const VERSION: u8 = 1;
+
+/// Fixed header size: magic (4) + version (1) + k (4) + d (4).
+pub const HEADER_LEN: usize = 13;
+
+/// Exact length in bytes of [`serialize_prior`]'s output for a `k`-component
+/// mixture over `d`-dimensional parameters.
+///
+/// `const` so downstream layers (the serving frame codec, the deployment
+/// simulator) can size payloads without constructing a prior — and a unit
+/// test pins it against the real encoder so the arithmetic can never drift.
+pub const fn encoded_len(k: usize, d: usize) -> usize {
+    HEADER_LEN + k * 8 * (1 + d + d * (d + 1) / 2)
+}
 
 /// Little-endian append helpers on `Vec<u8>`, mirroring the tiny slice of
 /// `bytes::BufMut` this module used before the workspace went offline.
@@ -100,13 +115,15 @@ pub fn serialize_prior(prior: &MixturePrior) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`EdgeError::InvalidData`] for truncated input, a wrong magic or
-/// version, or inconsistent sizes, and propagates validation failures from
-/// [`MixturePrior::new`] (e.g. a tampered covariance that is no longer
-/// positive semi-definite).
+/// Returns [`EdgeError::InvalidData`] for truncated input, a wrong magic,
+/// or inconsistent sizes; [`EdgeError::UnsupportedVersion`] for any `ver`
+/// byte other than [`VERSION`]; [`EdgeError::TrailingBytes`] when bytes
+/// remain after the last declared component; and propagates validation
+/// failures from [`MixturePrior::new`] (e.g. a tampered covariance that is
+/// no longer positive semi-definite).
 pub fn deserialize_prior(bytes: &[u8]) -> Result<MixturePrior> {
     let mut buf = ByteReader { buf: bytes };
-    if buf.remaining() < 13 {
+    if buf.remaining() < HEADER_LEN {
         return Err(EdgeError::InvalidData {
             reason: "prior payload shorter than its header",
         });
@@ -116,9 +133,11 @@ pub fn deserialize_prior(bytes: &[u8]) -> Result<MixturePrior> {
             reason: "prior payload has wrong magic",
         });
     }
-    if buf.get_u8() != VERSION {
-        return Err(EdgeError::InvalidData {
-            reason: "unsupported prior payload version",
+    let ver = buf.get_u8();
+    if ver != VERSION {
+        return Err(EdgeError::UnsupportedVersion {
+            found: ver,
+            supported: VERSION,
         });
     }
     let k = buf.get_u32_le() as usize;
@@ -129,9 +148,17 @@ pub fn deserialize_prior(bytes: &[u8]) -> Result<MixturePrior> {
         });
     }
     let per_comp = 8 * (1 + d + d * (d + 1) / 2);
-    if buf.remaining() != k * per_comp {
+    let need = k.checked_mul(per_comp).ok_or(EdgeError::InvalidData {
+        reason: "prior payload declares an impossibly large shape",
+    })?;
+    if buf.remaining() < need {
         return Err(EdgeError::InvalidData {
-            reason: "prior payload length does not match its declared shape",
+            reason: "prior payload shorter than its declared shape",
+        });
+    }
+    if buf.remaining() > need {
+        return Err(EdgeError::TrailingBytes {
+            extra: buf.remaining() - need,
         });
     }
     let mut components = Vec::with_capacity(k);
@@ -214,6 +241,60 @@ mod tests {
         empty.put_u32_le(0);
         empty.put_u32_le(3);
         assert!(deserialize_prior(&empty).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_a_typed_error() {
+        let prior = sample_prior();
+        let mut bytes = serialize_prior(&prior);
+        bytes.push(0);
+        assert_eq!(
+            deserialize_prior(&bytes).unwrap_err(),
+            EdgeError::TrailingBytes { extra: 1 }
+        );
+        bytes.extend_from_slice(&[7; 4]);
+        assert_eq!(
+            deserialize_prior(&bytes).unwrap_err(),
+            EdgeError::TrailingBytes { extra: 5 }
+        );
+        // A *short* payload is still the plain invalid-data error.
+        let whole = serialize_prior(&prior);
+        assert!(matches!(
+            deserialize_prior(&whole[..whole.len() - 1]),
+            Err(EdgeError::InvalidData { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_byte_is_a_typed_error() {
+        let prior = sample_prior();
+        let mut bytes = serialize_prior(&prior);
+        for future in [0u8, 2, 3, 0xFF] {
+            bytes[4] = future;
+            assert_eq!(
+                deserialize_prior(&bytes).unwrap_err(),
+                EdgeError::UnsupportedVersion {
+                    found: future,
+                    supported: VERSION,
+                },
+                "version byte {future} must be rejected with a typed error"
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_len_matches_the_real_encoder() {
+        for (k, d) in [(1usize, 1usize), (2, 3), (5, 4), (3, 9)] {
+            let components: Vec<(f64, Vec<f64>, Matrix)> = (0..k)
+                .map(|i| {
+                    let mut cov = Matrix::identity(d);
+                    cov.add_diag(i as f64);
+                    (1.0 / k as f64, vec![i as f64; d], cov)
+                })
+                .collect();
+            let prior = MixturePrior::new(components).unwrap();
+            assert_eq!(serialize_prior(&prior).len(), encoded_len(k, d));
+        }
     }
 
     #[test]

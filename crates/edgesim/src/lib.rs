@@ -14,7 +14,9 @@
 //!
 //! Everything is deterministic: discrete [`SimTime`] in microseconds, an
 //! event queue with FIFO tie-breaking, and an explicit [`ComputeModel`]
-//! mapping work to time.
+//! mapping work to time. Prior-transfer byte counts are not modeled
+//! guesses: [`REQUEST_BYTES`] and [`prior_transfer_bytes`] are the exact
+//! framed wire sizes of the `dre-serve` serving layer.
 //!
 //! # Example
 //!
@@ -42,6 +44,7 @@ mod time;
 pub use event::{Event, EventQueue};
 pub use network::Link;
 pub use scenario::{
-    ComputeModel, DeviceReport, DeviceSpec, EnergyModel, Scenario, SimReport, Strategy,
+    model_bytes, prior_transfer_bytes, raw_data_bytes, ComputeModel, DeviceReport, DeviceSpec,
+    EnergyModel, Scenario, SimReport, Strategy, REQUEST_BYTES,
 };
 pub use time::{SimDuration, SimTime};

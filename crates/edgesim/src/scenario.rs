@@ -94,6 +94,11 @@ pub enum Strategy {
     },
     /// The paper's pipeline: fetch the precomputed DP prior, then run the
     /// DRO-EM training loop locally.
+    ///
+    /// Transfer sizes are not assumed: the request costs
+    /// [`REQUEST_BYTES`] and the prior payload costs
+    /// [`prior_transfer_bytes`]`(prior_components, dim)`, both measured
+    /// from the real `dre-serve` frame codec.
     PriorTransfer {
         /// Local sample count.
         samples: usize,
@@ -103,9 +108,9 @@ pub enum Strategy {
         iterations: usize,
         /// EM rounds.
         em_rounds: usize,
-        /// Serialized prior size in bytes (from
-        /// `MixturePrior::serialized_size_bytes`).
-        prior_bytes: u64,
+        /// Mixture components in the transferred prior (`K`); together
+        /// with `dim` this determines the wire size of the payload.
+        prior_components: usize,
     },
 }
 
@@ -164,8 +169,18 @@ pub fn model_bytes(dim: usize) -> u64 {
     8 * (dim as u64 + 1)
 }
 
-/// Size in bytes of a prior request message.
-pub const REQUEST_BYTES: u64 = 64;
+/// Size in bytes of a prior request message — the exact wire size of a
+/// framed `dre-serve` `PriorRequest`, not an assumed constant.
+pub const REQUEST_BYTES: u64 = dre_serve::frame::prior_request_frame_len() as u64;
+
+/// Size in bytes of the framed `PriorResponse` carrying a
+/// `components`-component prior for models with `dim` features. The packed
+/// parameter vector is `[w…, b]`, so the mixture lives in `dim + 1`
+/// dimensions; the byte count is the exact frame length the real
+/// `dre-serve` codec would put on the wire.
+pub const fn prior_transfer_bytes(components: usize, dim: usize) -> u64 {
+    dre_serve::frame::prior_response_frame_len(components, dim + 1) as u64
+}
 
 /// A cloud–edge deployment scenario over a star topology.
 #[derive(Debug, Clone)]
@@ -279,10 +294,15 @@ impl Scenario {
                     match kind {
                         MessageKind::PriorRequest => {
                             // Prior is precomputed; respond immediately.
-                            let Strategy::PriorTransfer { prior_bytes, .. } = spec.strategy
+                            let Strategy::PriorTransfer {
+                                dim,
+                                prior_components,
+                                ..
+                            } = spec.strategy
                             else {
                                 unreachable!("prior request from non-prior strategy");
                             };
+                            let prior_bytes = prior_transfer_bytes(prior_components, dim);
                             queue.schedule(
                                 now + spec.link.transfer_time(prior_bytes),
                                 Event::ArriveAtDevice {
@@ -451,7 +471,6 @@ mod tests {
     fn prior_transfer_moves_far_fewer_bytes_than_raw_upload() {
         let samples = 500;
         let dim = 16;
-        let prior_bytes = 8 * (4 + 4 * 16 + 4 * 16 * 17 / 2) as u64; // K=4 mixture
         let mk = |strategy| {
             let mut sc = Scenario::new(ComputeModel::default());
             sc.add_device(DeviceSpec { link: link(), strategy });
@@ -467,7 +486,7 @@ mod tests {
             dim,
             iterations: 100,
             em_rounds: 5,
-            prior_bytes,
+            prior_components: 4,
         });
         assert!(
             prior.total_bytes * 5 < cloud.total_bytes,
@@ -516,7 +535,7 @@ mod tests {
                         dim: 10,
                         iterations: 50,
                         em_rounds: 5,
-                        prior_bytes: 2048,
+                        prior_components: 4,
                     },
                 });
             }
@@ -544,7 +563,7 @@ mod tests {
                         dim: 8,
                         iterations: 40,
                         em_rounds: 4,
-                        prior_bytes: 1024,
+                        prior_components: 2,
                     }
                 },
             });
@@ -597,13 +616,12 @@ mod tests {
             dim: 10,
             iterations: 100,
             em_rounds: 5,
-            prior_bytes: 1000,
+            prior_components: 3,
         });
         assert!(prior.compute_joules > 0.0);
-        assert!(prior.radio_joules < cloud.radio_joules / 5.0);
-        assert!(
-            (prior.radio_joules - (REQUEST_BYTES + 1000) as f64 * 1e-6).abs() < 1e-12
-        );
+        assert!(prior.radio_joules < cloud.radio_joules / 2.0);
+        let wire = REQUEST_BYTES + prior_transfer_bytes(3, 10);
+        assert!((prior.radio_joules - wire as f64 * 1e-6).abs() < 1e-12);
     }
 
     #[test]
@@ -620,8 +638,8 @@ mod tests {
         use proptest::prelude::{prop_assert, prop_assert_eq};
         use proptest::strategy::Strategy as _;
         let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let strategy_gen = (0u8..3, 10usize..500, 1usize..32, 1usize..200, 1u64..100_000)
-            .prop_map(|(kind, samples, dim, iterations, prior_bytes)| match kind {
+        let strategy_gen = (0u8..3, 10usize..500, 1usize..32, 1usize..200, 1usize..12)
+            .prop_map(|(kind, samples, dim, iterations, prior_components)| match kind {
                 0 => Strategy::EdgeOnly {
                     samples,
                     dim,
@@ -637,7 +655,7 @@ mod tests {
                     dim,
                     iterations,
                     em_rounds: 1 + iterations % 10,
-                    prior_bytes,
+                    prior_components,
                 },
             });
         let fleet_gen = proptest::collection::vec(
@@ -680,9 +698,16 @@ mod tests {
                             prop_assert_eq!(d.bytes_sent, raw_data_bytes(*samples, *dim));
                             prop_assert_eq!(d.bytes_received, model_bytes(*dim));
                         }
-                        Strategy::PriorTransfer { prior_bytes, .. } => {
+                        Strategy::PriorTransfer {
+                            dim,
+                            prior_components,
+                            ..
+                        } => {
                             prop_assert_eq!(d.bytes_sent, REQUEST_BYTES);
-                            prop_assert_eq!(d.bytes_received, *prior_bytes);
+                            prop_assert_eq!(
+                                d.bytes_received,
+                                prior_transfer_bytes(*prior_components, *dim)
+                            );
                         }
                     }
                 }
@@ -697,5 +722,10 @@ mod tests {
     fn byte_size_helpers() {
         assert_eq!(raw_data_bytes(10, 4), 8 * 10 * 5);
         assert_eq!(model_bytes(4), 40);
+        // Request frame: 10 bytes of framing around a u64 task id.
+        assert_eq!(REQUEST_BYTES, 18);
+        // Response frame for K=2, feature dim 4 (parameter dim 5): 10 bytes
+        // of framing + 13 bytes of transfer header + 2·(1+5+15) f64s.
+        assert_eq!(prior_transfer_bytes(2, 4), 10 + 13 + 8 * 2 * 21);
     }
 }

@@ -1,0 +1,307 @@
+//! The edge-side client: bounded retries with deterministic backoff.
+//!
+//! Every request opens a fresh connection through a [`Connector`], so a
+//! retry never reuses a stream that just failed mid-frame. Only errors the
+//! taxonomy marks retryable ([`ServeError::is_retryable`]) consume retry
+//! budget; fatal errors surface immediately. Backoff is exponential with
+//! seeded jitter — two clients built with the same seed sleep the same
+//! schedule, which keeps the fault-injection tests reproducible.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dre_bayes::MixturePrior;
+
+use crate::frame::{self, Message, DEFAULT_MAX_FRAME_LEN};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::transport::Connector;
+use crate::{Result, ServeError};
+
+/// Bounded-retry policy with deterministic exponential backoff.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (must be ≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each further attempt.
+    pub base_backoff: Duration,
+    /// Cap on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream (same seed, same sleeps).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Sleep before attempt number `attempt` (2-based: the first retry):
+    /// `base · 2^(attempt-2)` capped at `max_backoff`, plus up to one
+    /// extra `base` of seeded jitter.
+    pub fn backoff(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let doublings = attempt.saturating_sub(2).min(20);
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff);
+        let jitter = self.base_backoff.mul_f64(rng.gen_range(0.0..1.0));
+        exp + jitter
+    }
+}
+
+/// Edge-side client for the prior-transfer protocol, generic over how
+/// connections are made (real TCP or the faulty test transport).
+pub struct PriorClient<C: Connector> {
+    connector: C,
+    policy: RetryPolicy,
+    jitter: StdRng,
+    max_frame_len: usize,
+    metrics: ServeMetrics,
+}
+
+impl<C: Connector> PriorClient<C> {
+    /// A client over `connector` with the given retry policy.
+    pub fn new(connector: C, policy: RetryPolicy) -> Self {
+        let jitter = StdRng::seed_from_u64(policy.jitter_seed);
+        PriorClient {
+            connector,
+            policy,
+            jitter,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            metrics: ServeMetrics::new(),
+        }
+    }
+
+    /// The connector, for inspection (e.g. fault counters in tests).
+    pub fn connector(&self) -> &C {
+        &self.connector
+    }
+
+    /// Point-in-time client metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Liveness probe: sends `Ping`, expects `Ping` back.
+    pub fn ping(&mut self) -> Result<()> {
+        self.exchange(&Message::Ping).map(drop)
+    }
+
+    /// Fetches the raw transfer payload registered for `task_id`.
+    pub fn fetch_prior_payload(&mut self, task_id: u64) -> Result<Vec<u8>> {
+        match self.exchange(&Message::PriorRequest { task_id })? {
+            Message::PriorResponse { payload } => Ok(payload),
+            other => Err(ServeError::UnexpectedMessage {
+                got: other.kind_name(),
+                expected: "PriorResponse",
+            }),
+        }
+    }
+
+    /// Fetches and decodes the prior registered for `task_id`.
+    pub fn fetch_prior(&mut self, task_id: u64) -> Result<MixturePrior> {
+        let payload = self.fetch_prior_payload(task_id)?;
+        dro_edge::transfer::deserialize_prior(&payload).map_err(ServeError::Payload)
+    }
+
+    /// Reports a locally fitted packed model; the server acknowledges with
+    /// `Ping`.
+    pub fn report_model(&mut self, task_id: u64, params: Vec<f64>) -> Result<()> {
+        match self.exchange(&Message::ModelReport { task_id, params })? {
+            Message::Ping => Ok(()),
+            other => Err(ServeError::UnexpectedMessage {
+                got: other.kind_name(),
+                expected: "Ping",
+            }),
+        }
+    }
+
+    /// One request/response exchange under the retry policy. A protocol
+    /// `Error` reply is surfaced as [`ServeError::Remote`] (fatal).
+    fn exchange(&mut self, request: &Message) -> Result<Message> {
+        self.metrics.requests.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let started = Instant::now();
+        let attempts = self.policy.max_attempts.max(1);
+        let mut last: Option<ServeError> = None;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                self.metrics
+                    .retries
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                std::thread::sleep(self.policy.backoff(attempt, &mut self.jitter));
+            }
+            match self.attempt(request) {
+                Ok(reply) => {
+                    self.metrics
+                        .responses_ok
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.metrics.latency.record(started.elapsed());
+                    return Ok(reply);
+                }
+                Err(e) => {
+                    if matches!(e, ServeError::ChecksumMismatch { .. }) {
+                        self.metrics
+                            .checksum_failures
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    if !e.is_retryable() {
+                        self.metrics
+                            .errors
+                            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        return Err(e);
+                    }
+                    last = Some(e);
+                }
+            }
+        }
+        self.metrics
+            .errors
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Err(ServeError::RetriesExhausted {
+            attempts,
+            last: Box::new(last.expect("at least one attempt ran")),
+        })
+    }
+
+    /// One attempt: fresh connection, one frame out, one frame in.
+    fn attempt(&mut self, request: &Message) -> Result<Message> {
+        let mut transport = self.connector.connect()?;
+        self.metrics
+            .connections
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let sent = frame::write_frame(&mut transport, request)?;
+        self.metrics
+            .bytes_out
+            .fetch_add(sent as u64, std::sync::atomic::Ordering::Relaxed);
+        let (reply, received) = frame::read_frame(&mut transport, self.max_frame_len)?;
+        self.metrics
+            .bytes_in
+            .fetch_add(received as u64, std::sync::atomic::Ordering::Relaxed);
+        match reply {
+            Message::Error { code, detail } => Err(ServeError::Remote { code, detail }),
+            other => Ok(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{InMemoryServer, ServerState};
+    use crate::transport::{FaultConfig, FaultInjector, FaultyConnector};
+    use std::sync::Arc;
+
+    fn faulty_client(
+        state: Arc<ServerState>,
+        config: FaultConfig,
+        seed: u64,
+        policy: RetryPolicy,
+    ) -> PriorClient<FaultyConnector<InMemoryServer>> {
+        let responder = InMemoryServer::with_state(state);
+        let injector = FaultInjector::new(seed, config);
+        PriorClient::new(FaultyConnector::new(responder, injector), policy)
+    }
+
+    #[test]
+    fn clean_link_needs_one_attempt() {
+        let state = Arc::new(ServerState::new());
+        state.register_payload(3, vec![0xAA; 16]);
+        let mut client = faulty_client(
+            Arc::clone(&state),
+            FaultConfig::default(),
+            0,
+            RetryPolicy::default(),
+        );
+        client.ping().unwrap();
+        assert_eq!(client.fetch_prior_payload(3).unwrap(), vec![0xAA; 16]);
+        client.report_model(3, vec![1.0, 2.0]).unwrap();
+        let m = client.metrics();
+        assert_eq!(m.requests, 3);
+        assert_eq!(m.responses_ok, 3);
+        assert_eq!(m.retries, 0);
+        assert_eq!(m.errors, 0);
+        assert_eq!(state.reports().len(), 1);
+    }
+
+    #[test]
+    fn unknown_task_is_fatal_not_retried() {
+        let state = Arc::new(ServerState::new());
+        let mut client = faulty_client(
+            state,
+            FaultConfig::default(),
+            0,
+            RetryPolicy::default(),
+        );
+        let err = client.fetch_prior_payload(404).unwrap_err();
+        assert!(matches!(err, ServeError::Remote { .. }));
+        let m = client.metrics();
+        assert_eq!(m.retries, 0, "Remote errors must not consume retries");
+        assert_eq!(m.errors, 1);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_wraps_the_last_error() {
+        let state = Arc::new(ServerState::new());
+        state.register_payload(1, vec![1]);
+        let config = FaultConfig {
+            drop_prob: 1.0,
+            ..FaultConfig::default()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(50),
+            ..RetryPolicy::default()
+        };
+        let mut client = faulty_client(state, config, 0, policy);
+        let err = client.fetch_prior_payload(1).unwrap_err();
+        match err {
+            ServeError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(matches!(*last, ServeError::InjectedFault { .. }));
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+        assert_eq!(client.metrics().retries, 2);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential_and_seeded() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(45),
+            jitter_seed: 7,
+        };
+        let mut a = StdRng::seed_from_u64(policy.jitter_seed);
+        let mut b = StdRng::seed_from_u64(policy.jitter_seed);
+        for attempt in 2..=8 {
+            let d1 = policy.backoff(attempt, &mut a);
+            let d2 = policy.backoff(attempt, &mut b);
+            assert_eq!(d1, d2, "same seed, same schedule");
+            // Exponential part is capped; jitter adds at most one base.
+            assert!(d1 <= policy.max_backoff + policy.base_backoff);
+            let floor = policy
+                .base_backoff
+                .saturating_mul(1 << (attempt - 2).min(20))
+                .min(policy.max_backoff);
+            assert!(d1 >= floor);
+        }
+    }
+}

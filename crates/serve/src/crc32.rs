@@ -1,0 +1,114 @@
+//! Hand-rolled table-driven CRC-32 (IEEE 802.3 / zlib polynomial).
+//!
+//! The build environment is fully offline, so instead of pulling a checksum
+//! crate the frame codec uses this 30-line implementation: the classic
+//! byte-at-a-time algorithm over a 256-entry table built at compile time
+//! from the reflected polynomial `0xEDB88320`. CRC-32 detects *every* error
+//! burst of up to 32 bits, so any single corrupted frame byte is guaranteed
+//! to be caught — the property the serving layer's retry loop relies on
+//! (and that `tests/frame_corruption.rs` exhaustively checks).
+
+/// The reflected IEEE 802.3 generator polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Incremental CRC-32 state, for checksumming non-contiguous byte runs
+/// (the frame codec covers header fields and payload without copying them
+/// into one buffer).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh checksum state.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state = TABLE[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+        self
+    }
+
+    /// Final checksum value.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a contiguous byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    Crc32::new().update(bytes).finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+        // 32 zero bytes — exercises the table's zero row.
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0usize, 1, 13, 500, 999, 1000] {
+            let mut h = Crc32::new();
+            h.update(&data[..split]).update(&data[split..]);
+            assert_eq!(h.finalize(), crc32(&data));
+        }
+    }
+
+    #[test]
+    fn single_byte_changes_always_change_the_checksum() {
+        let base = b"framed wire protocol".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            for flip in 1..=255u8 {
+                let mut corrupted = base.clone();
+                corrupted[i] ^= flip;
+                assert_ne!(
+                    crc32(&corrupted),
+                    reference,
+                    "byte {i} xor {flip} collided"
+                );
+            }
+        }
+    }
+}

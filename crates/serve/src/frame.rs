@@ -1,0 +1,488 @@
+//! The length-prefixed, checksummed wire protocol.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! len      u32 LE   body length in bytes (everything after this field)
+//! ver      u8       frame version (1)
+//! kind     u8       0 Ping · 1 PriorRequest · 2 PriorResponse · 3 ModelReport · 4 Error
+//! crc      u32 LE   CRC-32 (IEEE) over ver ‖ kind ‖ payload
+//! payload  bytes    kind-specific
+//! ```
+//!
+//! Payload encodings (all little-endian):
+//!
+//! * `Ping` — empty; doubles as the acknowledgement for `ModelReport`.
+//! * `PriorRequest` — `task_id: u64`.
+//! * `PriorResponse` — the existing [`dro_edge::transfer`] payload,
+//!   byte-for-byte unchanged inside the frame.
+//! * `ModelReport` — `task_id: u64`, `count: u32`, `count × f64` packed
+//!   parameters.
+//! * `Error` — `code: u8`, then UTF-8 detail text to the end of the frame.
+//!
+//! Decoding checks the CRC *before* the version byte so that a corrupted
+//! version byte is classified as retryable corruption, not a fatal version
+//! mismatch; a genuine version-2 frame carries a valid CRC and is rejected
+//! as [`ServeError::VersionMismatch`].
+
+use crate::crc32::Crc32;
+use crate::transport::Transport;
+use crate::{Result, ServeError};
+
+/// The single frame version this build reads and writes.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Size of the length prefix.
+pub const LEN_PREFIX: usize = 4;
+
+/// Fixed body bytes before the payload: version (1) + kind (1) + crc (4).
+pub const BODY_HEADER: usize = 6;
+
+/// Total framing overhead added around a payload.
+pub const FRAME_OVERHEAD: usize = LEN_PREFIX + BODY_HEADER;
+
+/// Default cap on a frame's declared body length (16 MiB) — far above any
+/// realistic prior, low enough to bound a hostile peer's allocation.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Exact wire size of a `PriorRequest` frame.
+pub const fn prior_request_frame_len() -> usize {
+    FRAME_OVERHEAD + 8
+}
+
+/// Exact wire size of a `PriorResponse` frame carrying a `k`-component,
+/// `d`-dimensional prior — frame overhead plus the unchanged
+/// [`dro_edge::transfer`] payload ([`dro_edge::transfer::encoded_len`]).
+pub const fn prior_response_frame_len(k: usize, d: usize) -> usize {
+    FRAME_OVERHEAD + dro_edge::transfer::encoded_len(k, d)
+}
+
+/// Exact wire size of a `ModelReport` frame for a packed `p`-parameter
+/// model.
+pub const fn model_report_frame_len(p: usize) -> usize {
+    FRAME_OVERHEAD + 8 + 4 + 8 * p
+}
+
+/// Exact wire size of a `Ping` frame.
+pub const fn ping_frame_len() -> usize {
+    FRAME_OVERHEAD
+}
+
+/// Machine-readable reason inside a protocol `Error` message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The requested task id has no registered prior.
+    UnknownTask = 1,
+    /// The message kind was valid but not acceptable in this direction
+    /// (e.g. the server received a `PriorResponse`).
+    Unexpected = 2,
+    /// The request frame failed CRC, length, or grammar checks.
+    Malformed = 3,
+    /// The request frame carried an unsupported version byte.
+    Version = 4,
+    /// The server failed internally while producing a response.
+    Internal = 5,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(ErrorCode::UnknownTask),
+            2 => Some(ErrorCode::Unexpected),
+            3 => Some(ErrorCode::Malformed),
+            4 => Some(ErrorCode::Version),
+            5 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// One protocol message — the unit the client and server exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Liveness probe; also the acknowledgement for [`Message::ModelReport`].
+    Ping,
+    /// Edge → cloud: request the prior registered under `task_id`.
+    PriorRequest {
+        /// Task family the device belongs to.
+        task_id: u64,
+    },
+    /// Cloud → edge: the serialized prior, exactly the
+    /// [`dro_edge::transfer`] bytes.
+    PriorResponse {
+        /// Opaque `dro_edge::transfer` payload.
+        payload: Vec<u8>,
+    },
+    /// Edge → cloud: a locally fitted packed model, feeding the cloud's
+    /// lifelong refit loop.
+    ModelReport {
+        /// Task family the device belongs to.
+        task_id: u64,
+        /// Packed model parameters `[w…, b]`.
+        params: Vec<f64>,
+    },
+    /// Either direction: a protocol-level failure report.
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl Message {
+    fn kind(&self) -> u8 {
+        match self {
+            Message::Ping => 0,
+            Message::PriorRequest { .. } => 1,
+            Message::PriorResponse { .. } => 2,
+            Message::ModelReport { .. } => 3,
+            Message::Error { .. } => 4,
+        }
+    }
+
+    /// Human-readable message-kind name, used in error reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Message::Ping => "Ping",
+            Message::PriorRequest { .. } => "PriorRequest",
+            Message::PriorResponse { .. } => "PriorResponse",
+            Message::ModelReport { .. } => "ModelReport",
+            Message::Error { .. } => "Error",
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        match self {
+            Message::Ping => Vec::new(),
+            Message::PriorRequest { task_id } => task_id.to_le_bytes().to_vec(),
+            Message::PriorResponse { payload } => payload.clone(),
+            Message::ModelReport { task_id, params } => {
+                let mut out = Vec::with_capacity(12 + 8 * params.len());
+                out.extend_from_slice(&task_id.to_le_bytes());
+                out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+                for p in params {
+                    out.extend_from_slice(&p.to_le_bytes());
+                }
+                out
+            }
+            Message::Error { code, detail } => {
+                let mut out = Vec::with_capacity(1 + detail.len());
+                out.push(*code as u8);
+                out.extend_from_slice(detail.as_bytes());
+                out
+            }
+        }
+    }
+}
+
+/// Encodes a message into one complete frame.
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let payload = msg.payload();
+    let body_len = BODY_HEADER + payload.len();
+    let mut out = Vec::with_capacity(LEN_PREFIX + body_len);
+    out.extend_from_slice(&(body_len as u32).to_le_bytes());
+    let ver = FRAME_VERSION;
+    let kind = msg.kind();
+    let crc = Crc32::new()
+        .update(&[ver, kind])
+        .update(&payload)
+        .finalize();
+    out.push(ver);
+    out.push(kind);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes one complete frame from a buffer, requiring exact consumption:
+/// a length prefix that disagrees with the buffer size is an error, so a
+/// corrupted length byte can never be silently accepted.
+pub fn decode(bytes: &[u8]) -> Result<Message> {
+    if bytes.len() < FRAME_OVERHEAD {
+        return Err(ServeError::MalformedFrame {
+            reason: "buffer shorter than the fixed frame overhead",
+        });
+    }
+    let declared = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    if declared != bytes.len() - LEN_PREFIX {
+        return Err(ServeError::MalformedFrame {
+            reason: "length prefix disagrees with the frame size",
+        });
+    }
+    parse_body(&bytes[LEN_PREFIX..])
+}
+
+/// Parses a frame body (everything after the length prefix): CRC first,
+/// then version, then grammar.
+fn parse_body(body: &[u8]) -> Result<Message> {
+    if body.len() < BODY_HEADER {
+        return Err(ServeError::MalformedFrame {
+            reason: "frame body shorter than its fixed header",
+        });
+    }
+    let ver = body[0];
+    let kind = body[1];
+    let carried = u32::from_le_bytes(body[2..6].try_into().expect("4 bytes"));
+    let payload = &body[BODY_HEADER..];
+    let computed = Crc32::new()
+        .update(&[ver, kind])
+        .update(payload)
+        .finalize();
+    if computed != carried {
+        return Err(ServeError::ChecksumMismatch {
+            expected: carried,
+            computed,
+        });
+    }
+    if ver != FRAME_VERSION {
+        return Err(ServeError::VersionMismatch {
+            found: ver,
+            supported: FRAME_VERSION,
+        });
+    }
+    match kind {
+        0 => {
+            if !payload.is_empty() {
+                return Err(ServeError::MalformedFrame {
+                    reason: "Ping carries a payload",
+                });
+            }
+            Ok(Message::Ping)
+        }
+        1 => {
+            if payload.len() != 8 {
+                return Err(ServeError::MalformedFrame {
+                    reason: "PriorRequest payload is not exactly a u64 task id",
+                });
+            }
+            Ok(Message::PriorRequest {
+                task_id: u64::from_le_bytes(payload.try_into().expect("8 bytes")),
+            })
+        }
+        2 => Ok(Message::PriorResponse {
+            payload: payload.to_vec(),
+        }),
+        3 => {
+            if payload.len() < 12 {
+                return Err(ServeError::MalformedFrame {
+                    reason: "ModelReport payload shorter than its header",
+                });
+            }
+            let task_id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+            let count = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")) as usize;
+            if payload.len() != 12 + 8 * count {
+                return Err(ServeError::MalformedFrame {
+                    reason: "ModelReport parameter count disagrees with its length",
+                });
+            }
+            let params = payload[12..]
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+                .collect();
+            Ok(Message::ModelReport { task_id, params })
+        }
+        4 => {
+            if payload.is_empty() {
+                return Err(ServeError::MalformedFrame {
+                    reason: "Error payload is missing its code byte",
+                });
+            }
+            let code = ErrorCode::from_u8(payload[0]).ok_or(ServeError::MalformedFrame {
+                reason: "Error payload carries an unknown code",
+            })?;
+            let detail = std::str::from_utf8(&payload[1..])
+                .map_err(|_| ServeError::MalformedFrame {
+                    reason: "Error detail is not valid UTF-8",
+                })?
+                .to_string();
+            Ok(Message::Error { code, detail })
+        }
+        _ => Err(ServeError::MalformedFrame {
+            reason: "unknown message kind",
+        }),
+    }
+}
+
+/// Writes one frame to a transport; returns the bytes written.
+pub fn write_frame<T: Transport + ?Sized>(t: &mut T, msg: &Message) -> Result<usize> {
+    let bytes = encode(msg);
+    t.send(&bytes)?;
+    Ok(bytes.len())
+}
+
+/// Reads one frame from a transport; returns the message and its total
+/// wire size. Errors with [`ServeError::ShortRead`] if the stream ends
+/// mid-frame.
+pub fn read_frame<T: Transport + ?Sized>(t: &mut T, max_len: usize) -> Result<(Message, usize)> {
+    let mut lenb = [0u8; LEN_PREFIX];
+    t.recv_exact(&mut lenb)?;
+    read_after_len(t, lenb, max_len)
+}
+
+/// Like [`read_frame`], but a clean end-of-stream *before the first byte*
+/// returns `Ok(None)` — how the server distinguishes a client hanging up
+/// between requests from a truncated frame.
+pub fn read_frame_or_eof<T: Transport + ?Sized>(
+    t: &mut T,
+    max_len: usize,
+) -> Result<Option<(Message, usize)>> {
+    let mut lenb = [0u8; LEN_PREFIX];
+    if !t.recv_exact_or_eof(&mut lenb)? {
+        return Ok(None);
+    }
+    read_after_len(t, lenb, max_len).map(Some)
+}
+
+fn read_after_len<T: Transport + ?Sized>(
+    t: &mut T,
+    lenb: [u8; LEN_PREFIX],
+    max_len: usize,
+) -> Result<(Message, usize)> {
+    let len = u32::from_le_bytes(lenb) as usize;
+    if len < BODY_HEADER {
+        return Err(ServeError::MalformedFrame {
+            reason: "declared frame body shorter than its fixed header",
+        });
+    }
+    if len > max_len {
+        return Err(ServeError::FrameTooLarge { len, max: max_len });
+    }
+    let mut body = vec![0u8; len];
+    t.recv_exact(&mut body)?;
+    let msg = parse_body(&body)?;
+    Ok((msg, LEN_PREFIX + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::Ping,
+            Message::PriorRequest { task_id: 42 },
+            Message::PriorResponse {
+                payload: vec![1, 2, 3, 4, 5],
+            },
+            Message::ModelReport {
+                task_id: 7,
+                params: vec![0.5, -1.25, 3.0],
+            },
+            Message::Error {
+                code: ErrorCode::UnknownTask,
+                detail: "task 9 has no prior".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_kind() {
+        for msg in all_messages() {
+            let bytes = encode(&msg);
+            assert_eq!(decode(&bytes).unwrap(), msg, "{}", msg.kind_name());
+        }
+    }
+
+    #[test]
+    fn frame_len_helpers_match_the_encoder() {
+        assert_eq!(encode(&Message::Ping).len(), ping_frame_len());
+        assert_eq!(
+            encode(&Message::PriorRequest { task_id: 1 }).len(),
+            prior_request_frame_len()
+        );
+        assert_eq!(
+            encode(&Message::ModelReport {
+                task_id: 1,
+                params: vec![0.0; 9],
+            })
+            .len(),
+            model_report_frame_len(9)
+        );
+        // PriorResponse length = overhead + transfer payload, unchanged.
+        let payload = vec![0xAB; dro_edge::transfer::encoded_len(3, 4)];
+        assert_eq!(
+            encode(&Message::PriorResponse { payload }).len(),
+            prior_response_frame_len(3, 4)
+        );
+    }
+
+    #[test]
+    fn corrupted_bytes_are_rejected() {
+        let bytes = encode(&Message::PriorRequest { task_id: 99 });
+        // Payload corruption → checksum mismatch.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x40;
+        assert!(matches!(
+            decode(&bad),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+        // Length-prefix corruption → malformed (exact-consumption check).
+        let mut bad = bytes.clone();
+        bad[0] ^= 1;
+        assert!(matches!(decode(&bad), Err(ServeError::MalformedFrame { .. })));
+        // CRC-field corruption → checksum mismatch.
+        let mut bad = bytes.clone();
+        bad[6] ^= 0xFF;
+        assert!(matches!(
+            decode(&bad),
+            Err(ServeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn version_mismatch_needs_a_valid_crc() {
+        // A frame legitimately produced at version 2 (CRC computed over the
+        // new version byte) is a fatal version mismatch…
+        let msg = Message::Ping;
+        let mut bytes = encode(&msg);
+        bytes[4] = 2;
+        let crc = Crc32::new().update(&[2, 0]).finalize();
+        bytes[6..10].copy_from_slice(&crc.to_le_bytes());
+        assert!(matches!(
+            decode(&bytes),
+            Err(ServeError::VersionMismatch { found: 2, .. })
+        ));
+        // …while a *corrupted* version byte (stale CRC) reads as transient
+        // corruption, which is retryable.
+        let mut corrupted = encode(&msg);
+        corrupted[4] = 2;
+        let err = decode(&corrupted).unwrap_err();
+        assert!(matches!(err, ServeError::ChecksumMismatch { .. }));
+        assert!(err.is_retryable());
+    }
+
+    #[test]
+    fn grammar_violations_are_malformed() {
+        // Ping with payload.
+        let mut body = vec![FRAME_VERSION, 0, 0, 0, 0, 0, 9];
+        let crc = Crc32::new()
+            .update(&[FRAME_VERSION, 0])
+            .update(&[9])
+            .finalize();
+        body[2..6].copy_from_slice(&crc.to_le_bytes());
+        let mut framed = (body.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(&body);
+        assert!(matches!(
+            decode(&framed),
+            Err(ServeError::MalformedFrame { .. })
+        ));
+        // Unknown kind (valid CRC).
+        let mut body = vec![FRAME_VERSION, 77, 0, 0, 0, 0];
+        let crc = Crc32::new().update(&[FRAME_VERSION, 77]).finalize();
+        body[2..6].copy_from_slice(&crc.to_le_bytes());
+        let mut framed = (body.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(&body);
+        assert!(matches!(
+            decode(&framed),
+            Err(ServeError::MalformedFrame { .. })
+        ));
+        // Truncated buffer.
+        assert!(matches!(
+            decode(&encode(&Message::Ping)[..5]),
+            Err(ServeError::MalformedFrame { .. })
+        ));
+    }
+}

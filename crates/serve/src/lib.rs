@@ -1,0 +1,55 @@
+//! `dre-serve`: the cloud ↔ edge prior-transfer service.
+//!
+//! The paper's pipeline fits a Dirichlet-process mixture prior in the
+//! cloud and ships it to resource-limited edge devices, which run a few
+//! EM steps against local data. Up to this crate, that transfer was only
+//! simulated (`dre-edgesim`) or done by passing byte vectors around in
+//! process. `dre-serve` makes it a real service on `std::net` — no
+//! external dependencies:
+//!
+//! * [`frame`] — a length-prefixed, CRC-32-checksummed wire protocol
+//!   carrying the existing [`dro_edge::transfer`] payload unchanged.
+//! * [`server`] — a threaded TCP prior server with an `RwLock`-guarded
+//!   registry of fitted priors, per-connection deadlines, and graceful
+//!   shutdown.
+//! * [`client`] — an edge client with bounded retries, deterministic
+//!   exponential backoff with seeded jitter, and typed errors that
+//!   distinguish retryable transport trouble from fatal protocol
+//!   disagreements ([`ServeError::is_retryable`]).
+//! * [`transport`] — the byte-pipe abstraction both sides run over,
+//!   including [`transport::FaultyTransport`], a deterministic test double
+//!   injecting drops, truncations, bit-flips, and delays from a seeded
+//!   RNG.
+//! * [`metrics`] — transfer metrics (requests, bytes, retries, checksum
+//!   failures, log-spaced latency histogram) kept on both ends.
+//!
+//! The frame-length helpers ([`frame::prior_request_frame_len`],
+//! [`frame::prior_response_frame_len`]) are `const fn`, so the network
+//! simulator charges exactly the bytes the real service would move.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod crc32;
+pub mod error;
+pub mod frame;
+pub mod metrics;
+pub mod server;
+pub mod transport;
+
+pub use client::{PriorClient, RetryPolicy};
+pub use crc32::{crc32, Crc32};
+pub use error::{Result, ServeError};
+pub use frame::{
+    model_report_frame_len, ping_frame_len, prior_request_frame_len, prior_response_frame_len,
+    ErrorCode, Message, DEFAULT_MAX_FRAME_LEN, FRAME_OVERHEAD, FRAME_VERSION,
+};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics, LATENCY_BUCKETS};
+pub use server::{
+    InMemoryServer, PriorServer, ReportedModel, ServeConfig, ServerHandle, ServerState,
+};
+pub use transport::{
+    Connector, FaultConfig, FaultCounts, FaultInjector, FaultyConnector, FaultyTransport,
+    Responder, TcpConnector, TcpTransport, Transport,
+};

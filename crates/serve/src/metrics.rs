@@ -1,0 +1,222 @@
+//! Transfer metrics kept on both ends of the serving layer.
+//!
+//! All counters are relaxed atomics: the serving layer increments them from
+//! worker and client threads without any lock, and a [`MetricsSnapshot`]
+//! reads a consistent-enough view for reporting. Latencies go into a
+//! log-spaced histogram — bucket `i` holds durations whose microsecond
+//! count has `ilog2 == i` — which keeps the whole structure fixed-size and
+//! allocation-free while still resolving both sub-millisecond loopback
+//! round-trips and multi-second retry storms.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2-spaced latency buckets: bucket 63 holds anything at or
+/// above 2^63 µs, so every `u64` microsecond count maps to a bucket.
+pub const LATENCY_BUCKETS: usize = 64;
+
+/// Log2-spaced latency histogram with atomic buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Bucket index for a duration: `ilog2` of its microsecond count
+    /// (durations under 1 µs land in bucket 0).
+    pub fn bucket_index(d: Duration) -> usize {
+        let micros = d.as_micros().min(u64::MAX as u128) as u64;
+        if micros == 0 {
+            0
+        } else {
+            micros.ilog2() as usize
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, d: Duration) {
+        self.buckets[Self::bucket_index(d)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads all bucket counts.
+    pub fn snapshot(&self) -> [u64; LATENCY_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Shared transfer counters; the server keeps one per process, the client
+/// one per [`crate::client::PriorClient`].
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests handled (server) or issued (client).
+    pub requests: AtomicU64,
+    /// Exchanges that completed with a well-formed, checksum-clean reply.
+    pub responses_ok: AtomicU64,
+    /// Exchanges that ended in an error (after retries, on the client).
+    pub errors: AtomicU64,
+    /// Extra attempts beyond the first (client only).
+    pub retries: AtomicU64,
+    /// Frames rejected by the CRC check.
+    pub checksum_failures: AtomicU64,
+    /// Payload + framing bytes received.
+    pub bytes_in: AtomicU64,
+    /// Payload + framing bytes sent.
+    pub bytes_out: AtomicU64,
+    /// Connections accepted (server) or opened (client).
+    pub connections: AtomicU64,
+    /// Per-exchange latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+impl ServeMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            responses_ok: self.responses_ok.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            checksum_failures: self.checksum_failures.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            latency_buckets: self.latency.snapshot(),
+        }
+    }
+}
+
+/// Plain-data copy of [`ServeMetrics`], comparable and printable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests handled or issued.
+    pub requests: u64,
+    /// Exchanges that completed cleanly.
+    pub responses_ok: u64,
+    /// Exchanges that ended in an error.
+    pub errors: u64,
+    /// Extra attempts beyond the first.
+    pub retries: u64,
+    /// Frames rejected by the CRC check.
+    pub checksum_failures: u64,
+    /// Bytes received.
+    pub bytes_in: u64,
+    /// Bytes sent.
+    pub bytes_out: u64,
+    /// Connections accepted or opened.
+    pub connections: u64,
+    /// Log2-spaced latency bucket counts.
+    pub latency_buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl MetricsSnapshot {
+    /// Total latency observations.
+    pub fn latency_count(&self) -> u64 {
+        self.latency_buckets.iter().sum()
+    }
+
+    /// The counter fields minus wall-clock-dependent ones — equal across
+    /// two runs of the same seeded scenario, unlike the latency histogram.
+    pub fn deterministic_counters(&self) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
+        (
+            self.requests,
+            self.responses_ok,
+            self.errors,
+            self.retries,
+            self.checksum_failures,
+            self.bytes_in,
+            self.bytes_out,
+            self.connections,
+        )
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests={} ok={} errors={} retries={} checksum_failures={}",
+            self.requests, self.responses_ok, self.errors, self.retries, self.checksum_failures
+        )?;
+        writeln!(
+            f,
+            "bytes_in={} bytes_out={} connections={}",
+            self.bytes_in, self.bytes_out, self.connections
+        )?;
+        write!(f, "latency:")?;
+        let mut any = false;
+        for (i, &count) in self.latency_buckets.iter().enumerate() {
+            if count > 0 {
+                any = true;
+                write!(f, " [{}µs,{}µs)={}", 1u64 << i, 1u128 << (i + 1), count)?;
+            }
+        }
+        if !any {
+            write!(f, " (empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2_of_micros() {
+        assert_eq!(LatencyHistogram::bucket_index(Duration::from_micros(0)), 0);
+        assert_eq!(LatencyHistogram::bucket_index(Duration::from_micros(1)), 0);
+        assert_eq!(LatencyHistogram::bucket_index(Duration::from_micros(2)), 1);
+        assert_eq!(LatencyHistogram::bucket_index(Duration::from_micros(3)), 1);
+        assert_eq!(LatencyHistogram::bucket_index(Duration::from_micros(4)), 2);
+        assert_eq!(
+            LatencyHistogram::bucket_index(Duration::from_micros(1023)),
+            9
+        );
+        assert_eq!(
+            LatencyHistogram::bucket_index(Duration::from_micros(1024)),
+            10
+        );
+        assert_eq!(
+            LatencyHistogram::bucket_index(Duration::from_secs(u64::MAX)),
+            63
+        );
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let m = ServeMetrics::new();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.bytes_out.fetch_add(100, Ordering::Relaxed);
+        m.latency.record(Duration::from_micros(5));
+        m.latency.record(Duration::from_micros(7));
+        m.latency.record(Duration::from_millis(3));
+        let s = m.snapshot();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.bytes_out, 100);
+        assert_eq!(s.latency_count(), 3);
+        assert_eq!(s.latency_buckets[2], 2); // 5 µs and 7 µs
+        assert_eq!(s.latency_buckets[11], 1); // 3000 µs
+        let shown = s.to_string();
+        assert!(shown.contains("requests=3"));
+        assert!(shown.contains("[4µs,8µs)=2"));
+    }
+}

@@ -1,0 +1,491 @@
+//! The cloud-side prior server.
+//!
+//! [`PriorServer::bind`] starts a `TcpListener` accept loop feeding a fixed
+//! pool of worker threads through an `mpsc` channel; each worker runs one
+//! connection at a time with per-connection read/write deadlines. The
+//! request → response logic lives in [`ServerState::respond`], shared with
+//! [`InMemoryServer`] so the fault-injection tests exercise byte-for-byte
+//! the same responder as the real sockets. Shutdown is cooperative: a
+//! shared `AtomicBool` plus a self-connection to wake the blocked
+//! `accept()`.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dre_bayes::MixturePrior;
+
+use crate::frame::{self, ErrorCode, Message, DEFAULT_MAX_FRAME_LEN};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::transport::{Responder, TcpTransport, Transport};
+use crate::{Result, ServeError};
+
+/// Tuning knobs for [`PriorServer::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads handling accepted connections.
+    pub workers: usize,
+    /// Per-connection read deadline.
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write deadline.
+    pub write_timeout: Option<Duration>,
+    /// Cap on a frame's declared body length.
+    pub max_frame_len: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            read_timeout: Some(Duration::from_secs(5)),
+            write_timeout: Some(Duration::from_secs(5)),
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// A model reported back by an edge device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportedModel {
+    /// Task family the device belongs to.
+    pub task_id: u64,
+    /// Packed model parameters `[w…, b]`.
+    pub params: Vec<f64>,
+}
+
+/// Everything the responder needs: the prior registry, collected model
+/// reports, and server-side metrics.
+#[derive(Debug, Default)]
+pub struct ServerState {
+    /// Pre-encoded `dro_edge::transfer` payloads keyed by task id.
+    registry: RwLock<HashMap<u64, Arc<Vec<u8>>>>,
+    /// Models reported by edge devices, in arrival order.
+    reports: Mutex<Vec<ReportedModel>>,
+    /// Server-side transfer metrics.
+    metrics: ServeMetrics,
+}
+
+impl ServerState {
+    /// Empty state: no priors registered, no reports.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the prior served for `task_id`.
+    pub fn register_prior(&self, task_id: u64, prior: &MixturePrior) {
+        self.register_payload(task_id, dro_edge::transfer::serialize_prior(prior));
+    }
+
+    /// Registers a raw, already-encoded transfer payload for `task_id`.
+    pub fn register_payload(&self, task_id: u64, payload: Vec<u8>) {
+        self.registry
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(task_id, Arc::new(payload));
+    }
+
+    /// Models reported so far, in arrival order.
+    pub fn reports(&self) -> Vec<ReportedModel> {
+        self.reports
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Point-in-time server metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The protocol's request → response function.
+    pub fn respond(&self, request: &Message) -> Message {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match request {
+            Message::Ping => Message::Ping,
+            Message::PriorRequest { task_id } => {
+                let payload = self
+                    .registry
+                    .read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .get(task_id)
+                    .cloned();
+                match payload {
+                    Some(p) => Message::PriorResponse {
+                        payload: p.as_ref().clone(),
+                    },
+                    None => Message::Error {
+                        code: ErrorCode::UnknownTask,
+                        detail: format!("no prior registered for task {task_id}"),
+                    },
+                }
+            }
+            Message::ModelReport { task_id, params } => {
+                self.reports
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(ReportedModel {
+                        task_id: *task_id,
+                        params: params.clone(),
+                    });
+                Message::Ping
+            }
+            other => Message::Error {
+                code: ErrorCode::Unexpected,
+                detail: format!("server cannot handle a {} message", other.kind_name()),
+            },
+        };
+        if matches!(response, Message::Error { .. }) {
+            self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
+        }
+        response
+    }
+
+    /// Decodes one request frame, responds, and encodes the reply —
+    /// updating byte counters and the latency histogram. Frame-level
+    /// failures map onto protocol `Error` replies so the client always
+    /// gets an answer it can classify.
+    pub fn respond_bytes(&self, request_frame: &[u8]) -> Vec<u8> {
+        let started = Instant::now();
+        self.metrics
+            .bytes_in
+            .fetch_add(request_frame.len() as u64, Ordering::Relaxed);
+        let response = match frame::decode(request_frame) {
+            Ok(msg) => self.respond(&msg),
+            Err(e) => {
+                self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                if matches!(e, ServeError::ChecksumMismatch { .. }) {
+                    self.metrics
+                        .checksum_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Message::Error {
+                    code: match e {
+                        ServeError::VersionMismatch { .. } => ErrorCode::Version,
+                        _ => ErrorCode::Malformed,
+                    },
+                    detail: e.to_string(),
+                }
+            }
+        };
+        let bytes = frame::encode(&response);
+        self.metrics
+            .bytes_out
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.metrics.latency.record(started.elapsed());
+        bytes
+    }
+}
+
+/// [`Responder`] running [`ServerState`] entirely in memory — the server
+/// half of the fault-injection tests, with no sockets involved.
+#[derive(Debug, Default)]
+pub struct InMemoryServer {
+    state: Arc<ServerState>,
+}
+
+impl InMemoryServer {
+    /// An in-memory server over fresh state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An in-memory server sharing existing state.
+    pub fn with_state(state: Arc<ServerState>) -> Self {
+        InMemoryServer { state }
+    }
+
+    /// The shared state (registry, reports, metrics).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+}
+
+impl Responder for InMemoryServer {
+    fn respond(&self, request_frame: &[u8]) -> Vec<u8> {
+        self.state.respond_bytes(request_frame)
+    }
+}
+
+/// The TCP prior server; construct with [`PriorServer::bind`].
+pub struct PriorServer;
+
+impl PriorServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port), spawns the
+    /// accept loop and worker pool, and returns a handle that owns them.
+    pub fn bind(addr: &str, config: ServeConfig) -> Result<ServerHandle> {
+        let listener = TcpListener::bind(addr).map_err(|source| ServeError::Io {
+            op: "bind",
+            source,
+        })?;
+        let local_addr = listener.local_addr().map_err(|source| ServeError::Io {
+            op: "local_addr",
+            source,
+        })?;
+        let state = Arc::new(ServerState::new());
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = config.workers.max(1);
+        let mut threads = Vec::with_capacity(workers + 1);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            let config = config.clone();
+            threads.push(std::thread::spawn(move || loop {
+                let stream = {
+                    let guard = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard.recv()
+                };
+                match stream {
+                    Ok(stream) => serve_connection(stream, &state, &config),
+                    Err(_) => break, // channel closed: shutdown
+                }
+            }));
+        }
+
+        let accept_state = Arc::clone(&state);
+        let accept_shutdown = Arc::clone(&shutdown);
+        threads.push(std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = stream {
+                    accept_state
+                        .metrics
+                        .connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+            }
+            // `tx` drops here, releasing the workers from `recv()`.
+        }));
+
+        Ok(ServerHandle {
+            addr: local_addr,
+            state,
+            shutdown,
+            threads,
+        })
+    }
+}
+
+/// Runs one accepted connection to completion: frames in, frames out,
+/// until the client hangs up, a deadline expires, or a fatal frame error.
+fn serve_connection(stream: TcpStream, state: &ServerState, config: &ServeConfig) {
+    let mut transport = match TcpTransport::with_deadlines(
+        stream,
+        config.read_timeout,
+        config.write_timeout,
+    ) {
+        Ok(t) => t,
+        Err(_) => return,
+    };
+    loop {
+        // Raw frame bytes are re-read here rather than via `read_frame` so
+        // that `respond_bytes` (shared with the in-memory server) is the
+        // single place where decode errors map to protocol replies.
+        let mut lenb = [0u8; frame::LEN_PREFIX];
+        match transport.recv_exact_or_eof(&mut lenb) {
+            Ok(false) => return, // clean hangup between requests
+            Ok(true) => {}
+            Err(_) => return,
+        }
+        let len = u32::from_le_bytes(lenb) as usize;
+        if len > config.max_frame_len {
+            let reply = frame::encode(&Message::Error {
+                code: ErrorCode::Malformed,
+                detail: format!(
+                    "frame of {len} bytes exceeds the {}-byte cap",
+                    config.max_frame_len
+                ),
+            });
+            let _ = transport.send(&reply);
+            return;
+        }
+        let mut request = vec![0u8; frame::LEN_PREFIX + len];
+        request[..frame::LEN_PREFIX].copy_from_slice(&lenb);
+        if transport.recv_exact(&mut request[frame::LEN_PREFIX..]).is_err() {
+            return;
+        }
+        let reply = state.respond_bytes(&request);
+        if transport.send(&reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// Owns a running [`PriorServer`]: its address, state, and threads.
+/// Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the OS-assigned port resolved).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state — also usable as an [`InMemoryServer`] backing.
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// Registers (or replaces) the prior served for `task_id`.
+    pub fn register_prior(&self, task_id: u64, prior: &MixturePrior) {
+        self.state.register_prior(task_id, prior);
+    }
+
+    /// Point-in-time server metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.state.metrics()
+    }
+
+    /// Models reported by edge devices so far.
+    pub fn reports(&self) -> Vec<ReportedModel> {
+        self.state.reports()
+    }
+
+    /// Signals shutdown and joins every thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop out of its blocking `accept()`.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respond_covers_the_protocol() {
+        let state = ServerState::new();
+        state.register_payload(7, vec![1, 2, 3]);
+
+        assert_eq!(state.respond(&Message::Ping), Message::Ping);
+        assert_eq!(
+            state.respond(&Message::PriorRequest { task_id: 7 }),
+            Message::PriorResponse {
+                payload: vec![1, 2, 3]
+            }
+        );
+        assert!(matches!(
+            state.respond(&Message::PriorRequest { task_id: 8 }),
+            Message::Error {
+                code: ErrorCode::UnknownTask,
+                ..
+            }
+        ));
+        assert_eq!(
+            state.respond(&Message::ModelReport {
+                task_id: 7,
+                params: vec![1.0, 2.0],
+            }),
+            Message::Ping
+        );
+        assert_eq!(
+            state.reports(),
+            vec![ReportedModel {
+                task_id: 7,
+                params: vec![1.0, 2.0],
+            }]
+        );
+        assert!(matches!(
+            state.respond(&Message::PriorResponse { payload: vec![] }),
+            Message::Error {
+                code: ErrorCode::Unexpected,
+                ..
+            }
+        ));
+
+        let m = state.metrics();
+        assert_eq!(m.requests, 5);
+        assert_eq!(m.responses_ok, 3);
+        assert_eq!(m.errors, 2);
+    }
+
+    #[test]
+    fn respond_bytes_reports_garbage_as_protocol_errors() {
+        let state = ServerState::new();
+        // A corrupted frame gets an Error reply, not a dropped connection.
+        let mut bad = frame::encode(&Message::Ping);
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        // Corrupting the final CRC byte of an empty-payload frame…
+        let reply = frame::decode(&state.respond_bytes(&bad)).unwrap();
+        assert!(matches!(
+            reply,
+            Message::Error {
+                code: ErrorCode::Malformed,
+                ..
+            }
+        ));
+        assert_eq!(state.metrics().checksum_failures, 1);
+
+        // …and a valid-CRC future-version frame is told "Version".
+        let mut v2 = frame::encode(&Message::Ping);
+        v2[4] = 2;
+        let crc = crate::crc32::Crc32::new().update(&[2, 0]).finalize();
+        v2[6..10].copy_from_slice(&crc.to_le_bytes());
+        let reply = frame::decode(&state.respond_bytes(&v2)).unwrap();
+        assert!(matches!(
+            reply,
+            Message::Error {
+                code: ErrorCode::Version,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn tcp_server_serves_and_shuts_down() {
+        let mut handle = PriorServer::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+        handle.state().register_payload(1, vec![9, 9, 9]);
+
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut t = TcpTransport::with_deadlines(
+            stream,
+            Some(Duration::from_secs(5)),
+            Some(Duration::from_secs(5)),
+        )
+        .unwrap();
+        frame::write_frame(&mut t, &Message::PriorRequest { task_id: 1 }).unwrap();
+        let (reply, _) = frame::read_frame(&mut t, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(reply, Message::PriorResponse { payload: vec![9, 9, 9] });
+
+        // Two requests on one connection: the loop keeps serving.
+        frame::write_frame(&mut t, &Message::Ping).unwrap();
+        let (reply, _) = frame::read_frame(&mut t, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(reply, Message::Ping);
+        drop(t);
+
+        handle.shutdown();
+        handle.shutdown(); // idempotent
+        assert!(handle.metrics().requests >= 2);
+    }
+}

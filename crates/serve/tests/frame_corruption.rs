@@ -1,0 +1,108 @@
+//! Property test: no single-byte corruption of a framed prior survives.
+//!
+//! Random `MixturePrior`s go through the full pipeline — transfer encode →
+//! frame encode — and then every byte position of the frame is corrupted in
+//! turn. The decoder must reject each corrupted frame (CRC or length
+//! check); the uncorrupted frame must round-trip to the original prior.
+//! CRC-32 detects all error bursts up to 32 bits, so this holds for *every*
+//! position and *every* flip pattern, not just the sampled ones.
+
+use dre_bayes::MixturePrior;
+use dre_linalg::Matrix;
+use dre_serve::frame::{self, Message};
+use dre_serve::ServeError;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A valid random prior: positive weights, bounded means, SPD covariances.
+fn random_prior(k: usize, d: usize, seed: u64) -> MixturePrior {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let components = (0..k)
+        .map(|_| {
+            let weight = rng.gen_range(0.1..1.0);
+            let mean: Vec<f64> = (0..d).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let mut cov = Matrix::identity(d);
+            cov.add_diag(rng.gen_range(0.1..3.0));
+            (weight, mean, cov)
+        })
+        .collect();
+    MixturePrior::new(components).expect("construction above is always valid")
+}
+
+#[test]
+fn every_single_byte_corruption_is_caught() {
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    let cases = (1usize..4, 1usize..6, 0u64..1_000_000, 1u64..256);
+    runner
+        .run(&cases, |(k, d, seed, flip)| {
+            let prior = random_prior(k, d, seed);
+            let payload = dro_edge::transfer::serialize_prior(&prior);
+            let framed = frame::encode(&Message::PriorResponse {
+                payload: payload.clone(),
+            });
+            prop_assert_eq!(framed.len(), frame::prior_response_frame_len(k, d));
+
+            // The clean frame round-trips to the original prior.
+            match frame::decode(&framed) {
+                Ok(Message::PriorResponse { payload: back }) => {
+                    prop_assert_eq!(&back, &payload);
+                    let decoded = dro_edge::transfer::deserialize_prior(&back)
+                        .expect("clean payload must decode");
+                    prop_assert_eq!(decoded.num_components(), k);
+                    prop_assert_eq!(decoded.dim(), d);
+                }
+                other => return Err(proptest::test_runner::TestCaseError::fail(format!(
+                    "clean frame failed to decode: {other:?}"
+                ))),
+            }
+
+            // Corrupting any single byte (by a case-chosen XOR pattern)
+            // must be caught by the length check or the CRC.
+            let flip = flip as u8; // 1..=255: always changes the byte
+            for pos in 0..framed.len() {
+                let mut corrupted = framed.clone();
+                corrupted[pos] ^= flip;
+                match frame::decode(&corrupted) {
+                    // Only the CRC and length checks may fire — never a
+                    // VersionMismatch (the CRC runs first) and never a
+                    // silently accepted frame.
+                    Err(ServeError::ChecksumMismatch { .. })
+                    | Err(ServeError::MalformedFrame { .. }) => {}
+                    Ok(msg) => {
+                        return Err(proptest::test_runner::TestCaseError::fail(format!(
+                            "byte {pos} xor {flip:#04x} slipped through as {}",
+                            msg.kind_name()
+                        )))
+                    }
+                    Err(other) => {
+                        return Err(proptest::test_runner::TestCaseError::fail(format!(
+                            "byte {pos} xor {flip:#04x}: unexpected error class {other}"
+                        )))
+                    }
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn corrupted_version_byte_is_retryable_not_fatal() {
+    // The one subtle spot in the taxonomy: byte 4 is the version byte. A
+    // bit flip there must read as retryable corruption (the CRC no longer
+    // matches), never as a fatal VersionMismatch.
+    let prior = random_prior(2, 3, 7);
+    let payload = dro_edge::transfer::serialize_prior(&prior);
+    let framed = frame::encode(&Message::PriorResponse { payload });
+    for flip in 1..=255u8 {
+        let mut corrupted = framed.clone();
+        corrupted[4] ^= flip;
+        let err = frame::decode(&corrupted).unwrap_err();
+        assert!(
+            matches!(err, ServeError::ChecksumMismatch { .. }),
+            "version-byte flip {flip:#04x} gave {err}"
+        );
+        assert!(err.is_retryable());
+    }
+}

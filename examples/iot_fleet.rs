@@ -7,7 +7,7 @@
 //! ```
 
 use dre_data::{TaskFamily, TaskFamilyConfig};
-use dre_edgesim::{ComputeModel, DeviceSpec, Link, Scenario, Strategy};
+use dre_edgesim::{prior_transfer_bytes, ComputeModel, DeviceSpec, Link, Scenario, Strategy};
 use dre_models::metrics;
 use dre_prob::seeded_rng;
 use dro_edge::{baselines, CloudKnowledge, EdgeLearner, EdgeLearnerConfig};
@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = seeded_rng(5050);
     let family = TaskFamily::generate(&TaskFamilyConfig::default(), &mut rng)?;
     let cloud = CloudKnowledge::from_family(&family, 40, 400, 1.0, &mut rng)?;
-    let prior_bytes = cloud.transfer_size_bytes() as u64;
+    let prior_components = cloud.prior().num_components();
     let dim = family.config().dim;
     let fleet = 25;
     let samples = 20; // the few-shot regime the paper targets
@@ -61,10 +61,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dim,
         iterations: 200,
         em_rounds: 15,
-        prior_bytes,
+        prior_components,
     });
 
-    println!("fleet of {fleet} devices, {samples} samples each, prior = {prior_bytes} B\n");
+    println!(
+        "fleet of {fleet} devices, {samples} samples each, prior frame = {} B on the wire\n",
+        prior_transfer_bytes(prior_components, dim)
+    );
     println!(
         "{:<18} {:>10} {:>14} {:>10}",
         "strategy", "total KB", "makespan (ms)", "accuracy"

@@ -1,12 +1,15 @@
 //! Integration of the deployment simulator with the real learning
-//! pipeline: prior sizes come from an actually fitted cloud prior.
+//! pipeline: prior sizes come from an actually fitted cloud prior, and the
+//! simulator's byte counts are pinned to the real `dre-serve` wire frames.
 
 use dre_data::{TaskFamily, TaskFamilyConfig};
-use dre_edgesim::{ComputeModel, DeviceSpec, Link, Scenario, Strategy};
+use dre_edgesim::{
+    prior_transfer_bytes, ComputeModel, DeviceSpec, Link, Scenario, Strategy, REQUEST_BYTES,
+};
 use dre_prob::seeded_rng;
 use dro_edge::CloudKnowledge;
 
-fn fitted_prior_bytes() -> (u64, usize) {
+fn fitted_cloud() -> (CloudKnowledge, usize) {
     let mut rng = seeded_rng(600);
     let family = TaskFamily::generate(
         &TaskFamilyConfig {
@@ -18,12 +21,13 @@ fn fitted_prior_bytes() -> (u64, usize) {
     )
     .unwrap();
     let cloud = CloudKnowledge::from_family(&family, 24, 300, 1.0, &mut rng).unwrap();
-    (cloud.transfer_size_bytes() as u64, family.config().dim)
+    (cloud, family.config().dim)
 }
 
 #[test]
 fn prior_transfer_beats_raw_upload_on_bytes_with_a_real_prior() {
-    let (prior_bytes, dim) = fitted_prior_bytes();
+    let (cloud_knowledge, dim) = fitted_cloud();
+    let prior_components = cloud_knowledge.prior().num_components();
     let samples = 500;
     let link = Link::new_ms(30.0, 125_000.0);
 
@@ -42,7 +46,7 @@ fn prior_transfer_beats_raw_upload_on_bytes_with_a_real_prior() {
         dim,
         iterations: 100,
         em_rounds: 10,
-        prior_bytes,
+        prior_components,
     });
     assert!(
         prior.total_bytes * 3 < cloud.total_bytes,
@@ -54,7 +58,8 @@ fn prior_transfer_beats_raw_upload_on_bytes_with_a_real_prior() {
 
 #[test]
 fn fleet_scaling_shapes_match_the_paper_motivation() {
-    let (prior_bytes, dim) = fitted_prior_bytes();
+    let (cloud_knowledge, dim) = fitted_cloud();
+    let prior_components = cloud_knowledge.prior().num_components();
     let link = Link::new_ms(30.0, 125_000.0);
     let makespan = |strategy: Strategy, fleet: usize| {
         let mut sc = Scenario::new(ComputeModel {
@@ -88,7 +93,7 @@ fn fleet_scaling_shapes_match_the_paper_motivation() {
         dim,
         iterations: 100,
         em_rounds: 10,
-        prior_bytes,
+        prior_components,
     };
     let prior_1 = makespan(prior_strategy, 1);
     let prior_40 = makespan(prior_strategy, 40);
@@ -103,7 +108,9 @@ fn fleet_scaling_shapes_match_the_paper_motivation() {
 
 #[test]
 fn device_reports_are_internally_consistent() {
-    let (prior_bytes, dim) = fitted_prior_bytes();
+    let (cloud_knowledge, dim) = fitted_cloud();
+    let prior_components = cloud_knowledge.prior().num_components();
+    let prior_bytes = prior_transfer_bytes(prior_components, dim);
     let mut sc = Scenario::new(ComputeModel::default());
     for i in 0..6 {
         sc.add_device(DeviceSpec {
@@ -113,15 +120,15 @@ fn device_reports_are_internally_consistent() {
                 dim,
                 iterations: 50,
                 em_rounds: 8,
-                prior_bytes,
+                prior_components,
             },
         });
     }
     let report = sc.run();
     assert_eq!(report.devices.len(), 6);
-    // Every device sent a request and received the prior.
+    // Every device sent a request frame and received the prior frame.
     for d in &report.devices {
-        assert_eq!(d.bytes_sent, 64);
+        assert_eq!(d.bytes_sent, REQUEST_BYTES);
         assert_eq!(d.bytes_received, prior_bytes);
         assert!(d.completion.as_micros() > 0);
     }
@@ -131,7 +138,42 @@ fn device_reports_are_internally_consistent() {
     }
     assert_eq!(
         report.total_bytes,
-        6 * (64 + prior_bytes),
+        6 * (REQUEST_BYTES + prior_bytes),
         "aggregate bytes must equal the per-device sum"
     );
+}
+
+#[test]
+fn simulator_bytes_match_the_real_wire_frames() {
+    let (cloud_knowledge, dim) = fitted_cloud();
+    let prior = cloud_knowledge.prior();
+    let k = prior.num_components();
+
+    // Encode the prior exactly as the serve layer would ship it…
+    let payload = dro_edge::transfer::serialize_prior(prior);
+    let response = dre_serve::frame::encode(&dre_serve::Message::PriorResponse { payload });
+    let request = dre_serve::frame::encode(&dre_serve::Message::PriorRequest { task_id: 0 });
+
+    // …and the simulator's cost model must charge those exact bytes.
+    assert_eq!(request.len() as u64, REQUEST_BYTES);
+    assert_eq!(
+        response.len() as u64,
+        prior_transfer_bytes(k, dim),
+        "simulator payload bytes must equal the real PriorResponse frame"
+    );
+
+    let mut sc = Scenario::new(ComputeModel::default());
+    sc.add_device(DeviceSpec {
+        link: Link::new_ms(20.0, 1e6),
+        strategy: Strategy::PriorTransfer {
+            samples: 100,
+            dim,
+            iterations: 50,
+            em_rounds: 5,
+            prior_components: k,
+        },
+    });
+    let report = sc.run();
+    assert_eq!(report.devices[0].bytes_sent, request.len() as u64);
+    assert_eq!(report.devices[0].bytes_received, response.len() as u64);
 }
