@@ -22,6 +22,9 @@
 use std::time::Instant;
 
 use dre_bayes::{DpNiwGibbs, GibbsConfig, MixturePrior, VariationalConfig, VariationalDpGmm};
+use dre_bench::degraded::{
+    degraded_scenario, readings_below_floor, run_degraded_rounds, spawn_degraded_fleet,
+};
 use dre_bench::json::JsonValue;
 use dre_linalg::{Cholesky, Matrix};
 use dre_serve::{PriorClient, PriorServer, RetryPolicy, ServeConfig, TcpConnector};
@@ -462,6 +465,50 @@ fn main() {
     println!(
         "{name}: 1 client {one_ms:.2} ms ({rps_one:.0} req/s), {client_threads} clients \
          {fleet_ms:.2} ms ({rps_fleet:.0} req/s), corrupted payloads {diff}"
+    );
+
+    // -- edge runtime under chaos: fits/sec and the floor invariant ---------
+    // The graceful-degradation runtime (breaker + stale cache + local
+    // fallback) over healthy vs. heavily faulted in-memory links. The diff
+    // counts accuracy readings that fell below that device's own local-only
+    // ERM floor — the degradation ladder guarantees zero, so the tolerance
+    // is zero and CI fails if a degraded fit ever underperforms the
+    // fallback the runtime could have used instead.
+    let fleet_devices = if smoke { 2 } else { 4 };
+    let fleet_rounds = if smoke { 3 } else { 8 };
+    let sc = degraded_scenario(1_300, fleet_devices);
+    let (healthy_ms, healthy_readings) = time_best(2, || {
+        let mut fleet = spawn_degraded_fleet(&sc, 0.0, 1);
+        run_degraded_rounds(&sc, &mut fleet, fleet_rounds)
+    });
+    let (degraded_ms, degraded_readings) = time_best(2, || {
+        let mut fleet = spawn_degraded_fleet(&sc, 0.6, 1);
+        run_degraded_rounds(&sc, &mut fleet, fleet_rounds)
+    });
+    let diff =
+        (readings_below_floor(&healthy_readings) + readings_below_floor(&degraded_readings)) as f64;
+    let fits = (fleet_devices * fleet_rounds) as f64;
+    let rps_healthy = fits / (healthy_ms / 1e3);
+    let rps_degraded = fits / (degraded_ms / 1e3);
+    let name = "edge_runtime_degraded_rps".to_string();
+    kernels.push(KernelReport {
+        json: JsonValue::object([
+            ("name", JsonValue::from(name.as_str())),
+            ("healthy_ms", JsonValue::from(healthy_ms)),
+            ("degraded_ms", JsonValue::from(degraded_ms)),
+            ("fits", JsonValue::from(fits)),
+            ("fits_per_sec_healthy", JsonValue::from(rps_healthy)),
+            ("fits_per_sec_degraded", JsonValue::from(rps_degraded)),
+            ("max_abs_diff", JsonValue::from(diff)),
+            ("tolerance", JsonValue::from(0.0)),
+        ]),
+        name: name.clone(),
+        diff,
+        tolerance: 0.0,
+    });
+    println!(
+        "{name}: healthy {healthy_ms:.2} ms ({rps_healthy:.0} fits/s), degraded \
+         {degraded_ms:.2} ms ({rps_degraded:.0} fits/s), readings below floor {diff}"
     );
 
     // -- tolerance gate + report --------------------------------------------

@@ -17,6 +17,7 @@ use dre_prob::seeded_rng;
 use dro_edge::{CloudKnowledge, EdgeLearnerConfig};
 use rand::rngs::StdRng;
 
+pub mod degraded;
 pub mod json;
 
 /// The workspace-standard task family every experiment defaults to:

@@ -75,6 +75,7 @@
 pub mod baselines;
 mod cloud;
 mod config;
+pub mod degraded;
 mod em;
 mod error;
 pub mod evaluate;
@@ -84,6 +85,7 @@ pub mod transfer;
 
 pub use cloud::{train_source_model, CloudKnowledge, PriorFitMethod};
 pub use config::EdgeLearnerConfig;
+pub use degraded::{FitMode, ModeShares};
 pub use em::{EdgeFitReport, EdgeLearner};
 pub use error::EdgeError;
 pub use objective::DroDpObjective;

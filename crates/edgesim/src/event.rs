@@ -36,6 +36,15 @@ pub enum Event {
         /// Device the result belongs to.
         device: usize,
     },
+    /// A device's response deadline for a prior request expires. Stale
+    /// timers (the response arrived first, or a later attempt superseded
+    /// this one) are ignored when they fire.
+    RetryTimer {
+        /// Device index.
+        device: usize,
+        /// The request attempt this deadline belongs to (1-based).
+        attempt: u32,
+    },
 }
 
 /// The kinds of payloads exchanged between cloud and devices.

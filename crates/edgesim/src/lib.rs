@@ -18,6 +18,12 @@
 //! guesses: [`REQUEST_BYTES`] and [`prior_transfer_bytes`] are the exact
 //! framed wire sizes of the `dre-serve` serving layer.
 //!
+//! Cloud outages are part of the model: [`Scenario::with_outage`] drops
+//! prior requests inside a window, and a [`RetryModel`] gives devices
+//! response deadlines, deterministic doubling retries, and a local-ERM
+//! fallback — each [`DeviceReport`] is tagged with the [`FitMode`] rung
+//! that produced its model, matching the real runtime's vocabulary.
+//!
 //! # Example
 //!
 //! ```
@@ -45,6 +51,10 @@ pub use event::{Event, EventQueue};
 pub use network::Link;
 pub use scenario::{
     model_bytes, prior_transfer_bytes, raw_data_bytes, ComputeModel, DeviceReport, DeviceSpec,
-    EnergyModel, Scenario, SimReport, Strategy, REQUEST_BYTES,
+    EnergyModel, RetryModel, Scenario, SimReport, Strategy, REQUEST_BYTES,
 };
 pub use time::{SimDuration, SimTime};
+
+// Simulated outage outcomes carry the same degradation tags as real fleet
+// runs (`dre-serve`'s `EdgeRuntime`).
+pub use dro_edge::FitMode;

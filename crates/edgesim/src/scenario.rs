@@ -2,6 +2,7 @@
 
 use crate::event::{Event, EventQueue, MessageKind};
 use crate::{Link, SimDuration, SimTime};
+use dro_edge::FitMode;
 
 /// Deterministic compute-cost model.
 ///
@@ -123,6 +124,41 @@ pub struct DeviceSpec {
     pub strategy: Strategy,
 }
 
+/// Deterministic retry behaviour for prior requests: a device that hears
+/// nothing within the deadline resends, doubling the deadline each
+/// attempt, and after `max_attempts` silent attempts falls back to local
+/// ERM training ([`FitMode::LocalOnly`]).
+///
+/// Set the base `timeout` above the link's worst-case response time, or
+/// devices will resend (and possibly fall back) while the real response is
+/// still in flight — exactly the spurious-retry failure a real deployment
+/// would exhibit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryModel {
+    /// Response deadline for the first attempt; attempt `k` waits
+    /// `timeout · 2^(k−1)`.
+    pub timeout: SimDuration,
+    /// Total request attempts before giving up (min 1).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryModel {
+    fn default() -> Self {
+        RetryModel {
+            timeout: SimDuration::from_millis_f64(200.0),
+            max_attempts: 3,
+        }
+    }
+}
+
+impl RetryModel {
+    /// Deadline for the given 1-based attempt: `timeout · 2^(attempt−1)`.
+    pub fn deadline(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.saturating_sub(1).min(16);
+        SimDuration::from_micros(self.timeout.as_micros().saturating_mul(1 << shift))
+    }
+}
+
 /// Per-device outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceReport {
@@ -136,6 +172,15 @@ pub struct DeviceReport {
     pub compute_joules: f64,
     /// Device-side radio energy spent, in joules.
     pub radio_joules: f64,
+    /// Which rung of the degradation ladder produced the device's model.
+    /// [`Strategy::EdgeOnly`] is [`FitMode::LocalOnly`] by construction;
+    /// [`Strategy::CloudRoundTrip`] delivers cloud-fresh knowledge; a
+    /// [`Strategy::PriorTransfer`] device reports [`FitMode::FreshPrior`]
+    /// when the prior arrived or [`FitMode::LocalOnly`] after exhausting
+    /// its retry budget during an outage.
+    pub mode: FitMode,
+    /// Prior/upload request attempts made (0 for [`Strategy::EdgeOnly`]).
+    pub attempts: u32,
 }
 
 impl DeviceReport {
@@ -156,6 +201,8 @@ pub struct SimReport {
     pub makespan: SimTime,
     /// Total time the cloud spent computing.
     pub cloud_busy: SimDuration,
+    /// Prior requests silently dropped by the cloud outage window.
+    pub dropped_requests: u64,
 }
 
 /// Size in bytes of a raw-sample upload: `n·d` features + `n` labels, 8
@@ -188,6 +235,8 @@ pub struct Scenario {
     compute: ComputeModel,
     energy: EnergyModel,
     devices: Vec<DeviceSpec>,
+    retry: Option<RetryModel>,
+    outage: Option<(SimTime, SimTime)>,
 }
 
 impl Scenario {
@@ -198,12 +247,31 @@ impl Scenario {
             compute,
             energy: EnergyModel::default(),
             devices: Vec::new(),
+            retry: None,
+            outage: None,
         }
     }
 
     /// Overrides the device energy model.
     pub fn with_energy(mut self, energy: EnergyModel) -> Self {
         self.energy = energy;
+        self
+    }
+
+    /// Installs response deadlines and retries for prior requests. Without
+    /// a retry model, devices wait for responses indefinitely (the
+    /// pre-outage behaviour).
+    pub fn with_retry(mut self, retry: RetryModel) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Installs a cloud outage window `[start, end)` during which arriving
+    /// prior requests are silently dropped. Requires a [`RetryModel`]
+    /// (see [`Scenario::with_retry`]) — without deadlines a device whose
+    /// request falls into the window would wait forever.
+    pub fn with_outage(mut self, start: SimDuration, end: SimDuration) -> Self {
+        self.outage = Some((SimTime::ZERO + start, SimTime::ZERO + end));
         self
     }
 
@@ -220,7 +288,16 @@ impl Scenario {
 
     /// Runs the scenario to completion and reports per-device and aggregate
     /// outcomes. Deterministic: same scenario, same report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an outage window is configured without a [`RetryModel`] —
+    /// devices caught in the window would deadlock the simulation.
     pub fn run(&self) -> SimReport {
+        assert!(
+            self.outage.is_none() || self.retry.is_some(),
+            "an outage window requires a retry model (Scenario::with_retry)"
+        );
         let mut queue = EventQueue::new();
         let mut reports: Vec<DeviceReport> = self
             .devices
@@ -231,8 +308,15 @@ impl Scenario {
                 completion: SimTime::ZERO,
                 compute_joules: 0.0,
                 radio_joules: 0.0,
+                mode: FitMode::LocalOnly,
+                attempts: 0,
             })
             .collect();
+        // Per-device prior-fetch progress: `Waiting(k)` means attempt `k`
+        // is outstanding; `Resolved` means the payload arrived or the
+        // device gave up and fell back.
+        let mut fetch: Vec<FetchState> = vec![FetchState::NotFetching; self.devices.len()];
+        let mut dropped_requests = 0u64;
         let mut cloud_busy_until = SimTime::ZERO;
         let mut cloud_busy = SimDuration::ZERO;
 
@@ -259,6 +343,8 @@ impl Scenario {
                     let bytes = raw_data_bytes(samples, dim);
                     reports[i].bytes_sent += bytes;
                     reports[i].radio_joules += self.energy.joules_per_byte * bytes as f64;
+                    reports[i].mode = FitMode::FreshPrior;
+                    reports[i].attempts = 1;
                     queue.schedule(
                         SimTime::ZERO + spec.link.transfer_time(bytes),
                         Event::ArriveAtCloud {
@@ -269,17 +355,9 @@ impl Scenario {
                     );
                 }
                 Strategy::PriorTransfer { .. } => {
-                    reports[i].bytes_sent += REQUEST_BYTES;
-                    reports[i].radio_joules +=
-                        self.energy.joules_per_byte * REQUEST_BYTES as f64;
-                    queue.schedule(
-                        SimTime::ZERO + spec.link.transfer_time(REQUEST_BYTES),
-                        Event::ArriveAtCloud {
-                            device: i,
-                            bytes: REQUEST_BYTES,
-                            kind: MessageKind::PriorRequest,
-                        },
-                    );
+                    reports[i].mode = FitMode::FreshPrior;
+                    fetch[i] = FetchState::Waiting(1);
+                    self.send_prior_request(i, 1, SimTime::ZERO, &mut reports, &mut queue);
                 }
             }
         }
@@ -293,6 +371,15 @@ impl Scenario {
                     let spec = &self.devices[device];
                     match kind {
                         MessageKind::PriorRequest => {
+                            // The outage window drops arriving requests
+                            // silently; the device's retry deadline is the
+                            // only recovery path.
+                            if let Some((start, end)) = self.outage {
+                                if now >= start && now < end {
+                                    dropped_requests += 1;
+                                    continue;
+                                }
+                            }
                             // Prior is precomputed; respond immediately.
                             let Strategy::PriorTransfer {
                                 dim,
@@ -365,6 +452,15 @@ impl Scenario {
                             reports[device].completion = now;
                         }
                         MessageKind::PriorPayload => {
+                            // A payload for an already-resolved fetch (the
+                            // device resent while this one was in flight,
+                            // or already fell back) still costs radio
+                            // bytes but triggers no second fit.
+                            if fetch[device] == FetchState::Resolved {
+                                continue;
+                            }
+                            fetch[device] = FetchState::Resolved;
+                            reports[device].mode = FitMode::FreshPrior;
                             let Strategy::PriorTransfer {
                                 samples,
                                 dim,
@@ -396,6 +492,44 @@ impl Scenario {
                         }
                     }
                 }
+                Event::RetryTimer { device, attempt } => {
+                    // Only the deadline of the *outstanding* attempt acts;
+                    // timers of answered or superseded attempts are stale.
+                    if fetch[device] != FetchState::Waiting(attempt) {
+                        continue;
+                    }
+                    let retry = self.retry.expect("RetryTimer scheduled without a RetryModel");
+                    if attempt < retry.max_attempts.max(1) {
+                        fetch[device] = FetchState::Waiting(attempt + 1);
+                        self.send_prior_request(device, attempt + 1, now, &mut reports, &mut queue);
+                    } else {
+                        // Retry budget exhausted: fall back to local ERM —
+                        // the same training the EdgeOnly strategy runs.
+                        fetch[device] = FetchState::Resolved;
+                        reports[device].mode = FitMode::LocalOnly;
+                        let Strategy::PriorTransfer {
+                            samples,
+                            dim,
+                            iterations,
+                            ..
+                        } = self.devices[device].strategy
+                        else {
+                            unreachable!("retry timer for non-prior strategy");
+                        };
+                        let t = self.compute.train_time(
+                            self.compute.erm_cost,
+                            self.compute.device_flops,
+                            samples,
+                            dim,
+                            iterations,
+                        );
+                        reports[device].compute_joules += self.energy.joules_per_flop
+                            * self
+                                .compute
+                                .train_flops(self.compute.erm_cost, samples, dim, iterations);
+                        queue.schedule(now + t, Event::DeviceComputeDone { device });
+                    }
+                }
             }
         }
 
@@ -413,8 +547,50 @@ impl Scenario {
             total_bytes,
             makespan,
             cloud_busy,
+            dropped_requests,
         }
     }
+
+    /// Sends (or resends) one prior request for `device`, charging radio
+    /// bytes and energy, and — when a [`RetryModel`] is configured —
+    /// arming the attempt's response deadline.
+    fn send_prior_request(
+        &self,
+        device: usize,
+        attempt: u32,
+        now: SimTime,
+        reports: &mut [DeviceReport],
+        queue: &mut EventQueue,
+    ) {
+        reports[device].bytes_sent += REQUEST_BYTES;
+        reports[device].radio_joules += self.energy.joules_per_byte * REQUEST_BYTES as f64;
+        reports[device].attempts = attempt;
+        queue.schedule(
+            now + self.devices[device].link.transfer_time(REQUEST_BYTES),
+            Event::ArriveAtCloud {
+                device,
+                bytes: REQUEST_BYTES,
+                kind: MessageKind::PriorRequest,
+            },
+        );
+        if let Some(retry) = self.retry {
+            queue.schedule(
+                now + retry.deadline(attempt),
+                Event::RetryTimer { device, attempt },
+            );
+        }
+    }
+}
+
+/// Progress of a device's prior fetch, for outage/retry bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchState {
+    /// The device's strategy involves no prior fetch.
+    NotFetching,
+    /// Attempt `k` is outstanding (awaiting response or deadline).
+    Waiting(u32),
+    /// The payload arrived, or the device fell back to local training.
+    Resolved,
 }
 
 #[cfg(test)]
@@ -692,11 +868,14 @@ mod tests {
                     prop_assert!(d.compute_joules >= 0.0 && d.radio_joules >= 0.0);
                     match strategy {
                         Strategy::EdgeOnly { .. } => {
-                            prop_assert_eq!(d.bytes_sent + d.bytes_received, 0)
+                            prop_assert_eq!(d.bytes_sent + d.bytes_received, 0);
+                            prop_assert_eq!(d.mode, FitMode::LocalOnly);
+                            prop_assert_eq!(d.attempts, 0);
                         }
                         Strategy::CloudRoundTrip { samples, dim, .. } => {
                             prop_assert_eq!(d.bytes_sent, raw_data_bytes(*samples, *dim));
                             prop_assert_eq!(d.bytes_received, model_bytes(*dim));
+                            prop_assert_eq!(d.mode, FitMode::FreshPrior);
                         }
                         Strategy::PriorTransfer {
                             dim,
@@ -708,6 +887,9 @@ mod tests {
                                 d.bytes_received,
                                 prior_transfer_bytes(*prior_components, *dim)
                             );
+                            // No retry model: a single patient attempt.
+                            prop_assert_eq!(d.mode, FitMode::FreshPrior);
+                            prop_assert_eq!(d.attempts, 1);
                         }
                     }
                 }
@@ -716,6 +898,124 @@ mod tests {
                 Ok(())
             })
             .unwrap();
+    }
+
+    fn prior_strategy() -> Strategy {
+        Strategy::PriorTransfer {
+            samples: 100,
+            dim: 8,
+            iterations: 50,
+            em_rounds: 4,
+            prior_components: 2,
+        }
+    }
+
+    #[test]
+    fn reports_tag_every_strategy_with_its_degradation_rung() {
+        let mut sc = Scenario::new(ComputeModel::default());
+        sc.add_device(DeviceSpec {
+            link: link(),
+            strategy: Strategy::EdgeOnly {
+                samples: 100,
+                dim: 8,
+                iterations: 50,
+            },
+        });
+        sc.add_device(DeviceSpec {
+            link: link(),
+            strategy: Strategy::CloudRoundTrip {
+                samples: 100,
+                dim: 8,
+                iterations: 50,
+            },
+        });
+        sc.add_device(DeviceSpec { link: link(), strategy: prior_strategy() });
+        let r = sc.run();
+        assert_eq!(r.devices[0].mode, FitMode::LocalOnly);
+        assert_eq!(r.devices[0].attempts, 0);
+        assert_eq!(r.devices[1].mode, FitMode::FreshPrior);
+        assert_eq!(r.devices[1].attempts, 1);
+        assert_eq!(r.devices[2].mode, FitMode::FreshPrior);
+        assert_eq!(r.devices[2].attempts, 1);
+        assert_eq!(r.dropped_requests, 0);
+    }
+
+    #[test]
+    fn outage_is_ridden_out_by_deterministic_retries() {
+        // Outage [0, 100 ms); 30 ms deadline doubling per attempt. The
+        // request arrives at 20.018 ms (dropped), the attempt-2 resend at
+        // 50.018 ms (dropped), and the attempt-3 resend — sent at the
+        // 90 ms deadline — arrives at 110.018 ms, after the heal.
+        let mut sc = Scenario::new(ComputeModel::default())
+            .with_retry(RetryModel {
+                timeout: SimDuration::from_millis_f64(30.0),
+                max_attempts: 4,
+            })
+            .with_outage(SimDuration::ZERO, SimDuration::from_millis_f64(100.0));
+        sc.add_device(DeviceSpec { link: link(), strategy: prior_strategy() });
+        let r = sc.run();
+        let d = &r.devices[0];
+        assert_eq!(d.mode, FitMode::FreshPrior, "the fetch must recover");
+        assert_eq!(d.attempts, 3);
+        assert_eq!(r.dropped_requests, 2);
+        assert_eq!(d.bytes_sent, 3 * REQUEST_BYTES);
+        assert_eq!(d.bytes_received, prior_transfer_bytes(2, 8));
+        // Outage scenarios replay bit-identically.
+        assert_eq!(sc.run(), r);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_falls_back_to_local_erm() {
+        let mut sc = Scenario::new(ComputeModel::default())
+            .with_retry(RetryModel {
+                timeout: SimDuration::from_millis_f64(30.0),
+                max_attempts: 2,
+            })
+            .with_outage(SimDuration::ZERO, SimDuration::from_secs_f64(10.0));
+        sc.add_device(DeviceSpec { link: link(), strategy: prior_strategy() });
+        let r = sc.run();
+        let d = &r.devices[0];
+        assert_eq!(d.mode, FitMode::LocalOnly);
+        assert_eq!(d.attempts, 2);
+        assert_eq!(r.dropped_requests, 2);
+        assert_eq!(d.bytes_received, 0, "nothing ever came back");
+        assert_eq!(d.bytes_sent, 2 * REQUEST_BYTES);
+        // Gave up at the attempt-2 deadline (30 + 60 ms), then trained
+        // locally: 20·100·8·50 = 8·10⁵ FLOPs at 10⁸ FLOP/s = 8 ms.
+        assert_eq!(d.completion.as_micros(), 90_000 + 8_000);
+        // The fallback charges exactly the EdgeOnly compute energy.
+        let mut edge = Scenario::new(ComputeModel::default());
+        edge.add_device(DeviceSpec {
+            link: link(),
+            strategy: Strategy::EdgeOnly {
+                samples: 100,
+                dim: 8,
+                iterations: 50,
+            },
+        });
+        assert_eq!(d.compute_joules, edge.run().devices[0].compute_joules);
+    }
+
+    #[test]
+    #[should_panic(expected = "outage window requires a retry model")]
+    fn outage_without_a_retry_model_is_rejected() {
+        let mut sc = Scenario::new(ComputeModel::default())
+            .with_outage(SimDuration::ZERO, SimDuration::from_millis_f64(50.0));
+        sc.add_device(DeviceSpec { link: link(), strategy: prior_strategy() });
+        sc.run();
+    }
+
+    #[test]
+    fn retry_deadlines_double_per_attempt() {
+        let retry = RetryModel {
+            timeout: SimDuration::from_millis_f64(10.0),
+            max_attempts: 5,
+        };
+        assert_eq!(retry.deadline(1).as_micros(), 10_000);
+        assert_eq!(retry.deadline(2).as_micros(), 20_000);
+        assert_eq!(retry.deadline(4).as_micros(), 80_000);
+        // The shift saturates instead of overflowing.
+        assert!(retry.deadline(u32::MAX).as_micros() >= retry.deadline(17).as_micros());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 
 use dre_bayes::MixturePrior;
 
-use crate::frame::{self, Message, DEFAULT_MAX_FRAME_LEN};
+use crate::frame::{self, HealthStatus, Message, DEFAULT_MAX_FRAME_LEN};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::transport::Connector;
 use crate::{Result, ServeError};
@@ -104,6 +104,17 @@ impl<C: Connector> PriorClient<C> {
         self.exchange(&Message::Ping).map(drop)
     }
 
+    /// Fetches the server's load and resilience gauges.
+    pub fn health(&mut self) -> Result<HealthStatus> {
+        match self.exchange(&Message::Health)? {
+            Message::HealthReport(status) => Ok(status),
+            other => Err(ServeError::UnexpectedMessage {
+                got: other.kind_name(),
+                expected: "HealthReport",
+            }),
+        }
+    }
+
     /// Fetches the raw transfer payload registered for `task_id`.
     pub fn fetch_prior_payload(&mut self, task_id: u64) -> Result<Vec<u8>> {
         match self.exchange(&Message::PriorRequest { task_id })? {
@@ -134,7 +145,10 @@ impl<C: Connector> PriorClient<C> {
     }
 
     /// One request/response exchange under the retry policy. A protocol
-    /// `Error` reply is surfaced as [`ServeError::Remote`] (fatal).
+    /// `Error` reply is surfaced as [`ServeError::Remote`] (fatal); a
+    /// `Busy` reply is retryable, and its retry-after hint (capped at the
+    /// policy's `max_backoff`) raises the next sleep when it exceeds the
+    /// scheduled backoff.
     fn exchange(&mut self, request: &Message) -> Result<Message> {
         self.metrics.requests.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let started = Instant::now();
@@ -145,7 +159,12 @@ impl<C: Connector> PriorClient<C> {
                 self.metrics
                     .retries
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                std::thread::sleep(self.policy.backoff(attempt, &mut self.jitter));
+                let hint = last
+                    .as_ref()
+                    .and_then(ServeError::retry_after)
+                    .unwrap_or(Duration::ZERO)
+                    .min(self.policy.max_backoff);
+                std::thread::sleep(self.policy.backoff(attempt, &mut self.jitter).max(hint));
             }
             match self.attempt(request) {
                 Ok(reply) => {
@@ -196,6 +215,14 @@ impl<C: Connector> PriorClient<C> {
             .fetch_add(received as u64, std::sync::atomic::Ordering::Relaxed);
         match reply {
             Message::Error { code, detail } => Err(ServeError::Remote { code, detail }),
+            Message::Busy { retry_after_ms } => {
+                self.metrics
+                    .busy
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Err(ServeError::Busy {
+                    retry_after: Duration::from_millis(retry_after_ms as u64),
+                })
+            }
             other => Ok(other),
         }
     }

@@ -98,6 +98,13 @@ pub enum ServeError {
         /// Which fault fired.
         what: &'static str,
     },
+    /// The server shed the request under load and asked the client to come
+    /// back later. Retryable: overload is transient by definition, and the
+    /// server tells us how long to wait.
+    Busy {
+        /// Server-suggested minimum backoff before the next attempt.
+        retry_after: std::time::Duration,
+    },
 }
 
 impl ServeError {
@@ -111,7 +118,17 @@ impl ServeError {
                 | ServeError::ShortRead { .. }
                 | ServeError::ChecksumMismatch { .. }
                 | ServeError::InjectedFault { .. }
+                | ServeError::Busy { .. }
         )
+    }
+
+    /// Server-provided backoff hint, when the error carries one (a shed
+    /// request). The retry loop takes the max of this and its own schedule.
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        match self {
+            ServeError::Busy { retry_after } => Some(*retry_after),
+            _ => None,
+        }
     }
 }
 
@@ -145,6 +162,9 @@ impl fmt::Display for ServeError {
                 write!(f, "gave up after {attempts} attempt(s); last error: {last}")
             }
             ServeError::InjectedFault { what } => write!(f, "injected fault: {what}"),
+            ServeError::Busy { retry_after } => {
+                write!(f, "server busy: retry after {retry_after:?}")
+            }
         }
     }
 }
@@ -177,10 +197,19 @@ mod tests {
             ServeError::ShortRead { expected: 4, got: 1 },
             ServeError::ChecksumMismatch { expected: 1, computed: 2 },
             ServeError::InjectedFault { what: "drop" },
+            ServeError::Busy {
+                retry_after: std::time::Duration::from_millis(20),
+            },
         ];
         for e in &retryable {
             assert!(e.is_retryable(), "{e} should be retryable");
         }
+        // Only the shed path carries a backoff hint.
+        assert_eq!(
+            retryable[4].retry_after(),
+            Some(std::time::Duration::from_millis(20))
+        );
+        assert_eq!(retryable[0].retry_after(), None);
         let fatal: Vec<ServeError> = vec![
             ServeError::VersionMismatch { found: 2, supported: 1 },
             ServeError::MalformedFrame { reason: "x" },

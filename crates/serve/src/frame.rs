@@ -5,7 +5,8 @@
 //! ```text
 //! len      u32 LE   body length in bytes (everything after this field)
 //! ver      u8       frame version (1)
-//! kind     u8       0 Ping · 1 PriorRequest · 2 PriorResponse · 3 ModelReport · 4 Error
+//! kind     u8       0 Ping · 1 PriorRequest · 2 PriorResponse · 3 ModelReport
+//!                   · 4 Error · 5 Busy · 6 Health · 7 HealthReport
 //! crc      u32 LE   CRC-32 (IEEE) over ver ‖ kind ‖ payload
 //! payload  bytes    kind-specific
 //! ```
@@ -19,6 +20,11 @@
 //! * `ModelReport` — `task_id: u64`, `count: u32`, `count × f64` packed
 //!   parameters.
 //! * `Error` — `code: u8`, then UTF-8 detail text to the end of the frame.
+//! * `Busy` — `retry_after_ms: u32`: the server shed this request under
+//!   load; the client should back off at least that long before retrying.
+//! * `Health` — empty; asks the server for a [`HealthStatus`] snapshot.
+//! * `HealthReport` — `queue_depth: u32`, `in_flight: u32`, `shed: u64`,
+//!   `worker_panics: u64`.
 //!
 //! Decoding checks the CRC *before* the version byte so that a corrupted
 //! version byte is classified as retryable corruption, not a fatal version
@@ -68,6 +74,21 @@ pub const fn ping_frame_len() -> usize {
     FRAME_OVERHEAD
 }
 
+/// Exact wire size of a `Busy` frame.
+pub const fn busy_frame_len() -> usize {
+    FRAME_OVERHEAD + 4
+}
+
+/// Exact wire size of a `Health` request frame.
+pub const fn health_frame_len() -> usize {
+    FRAME_OVERHEAD
+}
+
+/// Exact wire size of a `HealthReport` frame.
+pub const fn health_report_frame_len() -> usize {
+    FRAME_OVERHEAD + 4 + 4 + 8 + 8
+}
+
 /// Machine-readable reason inside a protocol `Error` message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -95,6 +116,30 @@ impl ErrorCode {
             5 => Some(ErrorCode::Internal),
             _ => None,
         }
+    }
+}
+
+/// A server health snapshot as carried by [`Message::HealthReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthStatus {
+    /// Connections accepted but not yet picked up by a worker.
+    pub queue_depth: u32,
+    /// Requests currently being served across all workers (a `Health`
+    /// request counts itself).
+    pub in_flight: u32,
+    /// Connections shed with a `Busy` reply since startup.
+    pub shed_connections: u64,
+    /// Worker panics caught (and recovered from) since startup.
+    pub worker_panics: u64,
+}
+
+impl std::fmt::Display for HealthStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "queue_depth={} in_flight={} shed={} worker_panics={}",
+            self.queue_depth, self.in_flight, self.shed_connections, self.worker_panics
+        )
     }
 }
 
@@ -129,6 +174,16 @@ pub enum Message {
         /// Human-readable detail.
         detail: String,
     },
+    /// Cloud → edge: the request was shed under load. Retryable after the
+    /// carried hint.
+    Busy {
+        /// Suggested minimum wait before the next attempt, milliseconds.
+        retry_after_ms: u32,
+    },
+    /// Edge → cloud: request a [`Message::HealthReport`].
+    Health,
+    /// Cloud → edge: load and resilience gauges.
+    HealthReport(HealthStatus),
 }
 
 impl Message {
@@ -139,6 +194,9 @@ impl Message {
             Message::PriorResponse { .. } => 2,
             Message::ModelReport { .. } => 3,
             Message::Error { .. } => 4,
+            Message::Busy { .. } => 5,
+            Message::Health => 6,
+            Message::HealthReport(_) => 7,
         }
     }
 
@@ -150,6 +208,9 @@ impl Message {
             Message::PriorResponse { .. } => "PriorResponse",
             Message::ModelReport { .. } => "ModelReport",
             Message::Error { .. } => "Error",
+            Message::Busy { .. } => "Busy",
+            Message::Health => "Health",
+            Message::HealthReport(_) => "HealthReport",
         }
     }
 
@@ -171,6 +232,16 @@ impl Message {
                 let mut out = Vec::with_capacity(1 + detail.len());
                 out.push(*code as u8);
                 out.extend_from_slice(detail.as_bytes());
+                out
+            }
+            Message::Busy { retry_after_ms } => retry_after_ms.to_le_bytes().to_vec(),
+            Message::Health => Vec::new(),
+            Message::HealthReport(h) => {
+                let mut out = Vec::with_capacity(24);
+                out.extend_from_slice(&h.queue_depth.to_le_bytes());
+                out.extend_from_slice(&h.in_flight.to_le_bytes());
+                out.extend_from_slice(&h.shed_connections.to_le_bytes());
+                out.extend_from_slice(&h.worker_panics.to_le_bytes());
                 out
             }
         }
@@ -299,6 +370,37 @@ fn parse_body(body: &[u8]) -> Result<Message> {
                 .to_string();
             Ok(Message::Error { code, detail })
         }
+        5 => {
+            if payload.len() != 4 {
+                return Err(ServeError::MalformedFrame {
+                    reason: "Busy payload is not exactly a u32 retry hint",
+                });
+            }
+            Ok(Message::Busy {
+                retry_after_ms: u32::from_le_bytes(payload.try_into().expect("4 bytes")),
+            })
+        }
+        6 => {
+            if !payload.is_empty() {
+                return Err(ServeError::MalformedFrame {
+                    reason: "Health carries a payload",
+                });
+            }
+            Ok(Message::Health)
+        }
+        7 => {
+            if payload.len() != 24 {
+                return Err(ServeError::MalformedFrame {
+                    reason: "HealthReport payload is not exactly 24 bytes",
+                });
+            }
+            Ok(Message::HealthReport(HealthStatus {
+                queue_depth: u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")),
+                in_flight: u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes")),
+                shed_connections: u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes")),
+                worker_panics: u64::from_le_bytes(payload[16..24].try_into().expect("8 bytes")),
+            }))
+        }
         _ => Err(ServeError::MalformedFrame {
             reason: "unknown message kind",
         }),
@@ -374,6 +476,14 @@ mod tests {
                 code: ErrorCode::UnknownTask,
                 detail: "task 9 has no prior".into(),
             },
+            Message::Busy { retry_after_ms: 250 },
+            Message::Health,
+            Message::HealthReport(HealthStatus {
+                queue_depth: 3,
+                in_flight: 2,
+                shed_connections: 11,
+                worker_panics: 1,
+            }),
         ]
     }
 
@@ -405,6 +515,15 @@ mod tests {
         assert_eq!(
             encode(&Message::PriorResponse { payload }).len(),
             prior_response_frame_len(3, 4)
+        );
+        assert_eq!(
+            encode(&Message::Busy { retry_after_ms: 5 }).len(),
+            busy_frame_len()
+        );
+        assert_eq!(encode(&Message::Health).len(), health_frame_len());
+        assert_eq!(
+            encode(&Message::HealthReport(HealthStatus::default())).len(),
+            health_report_frame_len()
         );
     }
 
@@ -484,5 +603,22 @@ mod tests {
             decode(&encode(&Message::Ping)[..5]),
             Err(ServeError::MalformedFrame { .. })
         ));
+        // Busy with a short hint, Health with a payload, HealthReport with
+        // a truncated payload — all grammar violations with a valid CRC.
+        for (kind, payload) in [(5u8, vec![1u8, 2]), (6, vec![9]), (7, vec![0; 23])] {
+            let mut body = vec![FRAME_VERSION, kind, 0, 0, 0, 0];
+            body.extend_from_slice(&payload);
+            let crc = Crc32::new()
+                .update(&[FRAME_VERSION, kind])
+                .update(&payload)
+                .finalize();
+            body[2..6].copy_from_slice(&crc.to_le_bytes());
+            let mut framed = (body.len() as u32).to_le_bytes().to_vec();
+            framed.extend_from_slice(&body);
+            assert!(
+                matches!(decode(&framed), Err(ServeError::MalformedFrame { .. })),
+                "kind {kind} grammar violation slipped through"
+            );
+        }
     }
 }

@@ -22,6 +22,12 @@
 //!   RNG.
 //! * [`metrics`] — transfer metrics (requests, bytes, retries, checksum
 //!   failures, log-spaced latency histogram) kept on both ends.
+//! * [`resilience`] — a step-clocked, seeded-deterministic circuit breaker
+//!   and a TTL'd stale-prior cache.
+//! * [`runtime`] — [`runtime::EdgeRuntime`], the fault-tolerant
+//!   fetch→fit→report loop that degrades from fresh-prior DRO through
+//!   stale-prior fits down to the paper's local-only ERM baseline, tagging
+//!   every fit with its [`dro_edge::FitMode`].
 //!
 //! The frame-length helpers ([`frame::prior_request_frame_len`],
 //! [`frame::prior_response_frame_len`]) are `const fn`, so the network
@@ -35,6 +41,8 @@ pub mod crc32;
 pub mod error;
 pub mod frame;
 pub mod metrics;
+pub mod resilience;
+pub mod runtime;
 pub mod server;
 pub mod transport;
 
@@ -42,9 +50,14 @@ pub use client::{PriorClient, RetryPolicy};
 pub use crc32::{crc32, Crc32};
 pub use error::{Result, ServeError};
 pub use frame::{
-    model_report_frame_len, ping_frame_len, prior_request_frame_len, prior_response_frame_len,
-    ErrorCode, Message, DEFAULT_MAX_FRAME_LEN, FRAME_OVERHEAD, FRAME_VERSION,
+    busy_frame_len, health_frame_len, health_report_frame_len, model_report_frame_len,
+    ping_frame_len, prior_request_frame_len, prior_response_frame_len, ErrorCode, HealthStatus,
+    Message, DEFAULT_MAX_FRAME_LEN, FRAME_OVERHEAD, FRAME_VERSION,
 };
+pub use resilience::{
+    BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, StalePriorCache,
+};
+pub use runtime::{EdgeRuntime, EdgeRuntimeConfig, RuntimeCounters, RuntimeFit};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics, LATENCY_BUCKETS};
 pub use server::{
     InMemoryServer, PriorServer, ReportedModel, ServeConfig, ServerHandle, ServerState,

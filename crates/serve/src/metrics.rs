@@ -78,6 +78,16 @@ pub struct ServeMetrics {
     pub bytes_out: AtomicU64,
     /// Connections accepted (server) or opened (client).
     pub connections: AtomicU64,
+    /// `Busy` replies sent (server) or received across attempts (client).
+    pub busy: AtomicU64,
+    /// Connections shed before reaching a worker because the accept queue
+    /// was full (server only).
+    pub shed_connections: AtomicU64,
+    /// Worker panics caught and recovered from (server only).
+    pub worker_panics: AtomicU64,
+    /// Poisoned locks recovered by inheriting the last good value (server
+    /// only).
+    pub lock_recoveries: AtomicU64,
     /// Per-exchange latency distribution.
     pub latency: LatencyHistogram,
 }
@@ -99,6 +109,10 @@ impl ServeMetrics {
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            shed_connections: self.shed_connections.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            lock_recoveries: self.lock_recoveries.load(Ordering::Relaxed),
             latency_buckets: self.latency.snapshot(),
         }
     }
@@ -123,6 +137,14 @@ pub struct MetricsSnapshot {
     pub bytes_out: u64,
     /// Connections accepted or opened.
     pub connections: u64,
+    /// `Busy` replies sent or received.
+    pub busy: u64,
+    /// Connections shed at the accept queue.
+    pub shed_connections: u64,
+    /// Worker panics caught and recovered from.
+    pub worker_panics: u64,
+    /// Poisoned locks recovered.
+    pub lock_recoveries: u64,
     /// Log2-spaced latency bucket counts.
     pub latency_buckets: [u64; LATENCY_BUCKETS],
 }
@@ -135,8 +157,8 @@ impl MetricsSnapshot {
 
     /// The counter fields minus wall-clock-dependent ones — equal across
     /// two runs of the same seeded scenario, unlike the latency histogram.
-    pub fn deterministic_counters(&self) -> (u64, u64, u64, u64, u64, u64, u64, u64) {
-        (
+    pub fn deterministic_counters(&self) -> [u64; 12] {
+        [
             self.requests,
             self.responses_ok,
             self.errors,
@@ -145,7 +167,11 @@ impl MetricsSnapshot {
             self.bytes_in,
             self.bytes_out,
             self.connections,
-        )
+            self.busy,
+            self.shed_connections,
+            self.worker_panics,
+            self.lock_recoveries,
+        ]
     }
 }
 
@@ -160,6 +186,11 @@ impl fmt::Display for MetricsSnapshot {
             f,
             "bytes_in={} bytes_out={} connections={}",
             self.bytes_in, self.bytes_out, self.connections
+        )?;
+        writeln!(
+            f,
+            "busy={} shed_connections={} worker_panics={} lock_recoveries={}",
+            self.busy, self.shed_connections, self.worker_panics, self.lock_recoveries
         )?;
         write!(f, "latency:")?;
         let mut any = false;

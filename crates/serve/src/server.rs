@@ -1,24 +1,31 @@
 //! The cloud-side prior server.
 //!
 //! [`PriorServer::bind`] starts a `TcpListener` accept loop feeding a fixed
-//! pool of worker threads through an `mpsc` channel; each worker runs one
-//! connection at a time with per-connection read/write deadlines. The
-//! request → response logic lives in [`ServerState::respond`], shared with
+//! pool of worker threads through a *bounded* `mpsc` channel; each worker
+//! runs one connection at a time with per-connection read/write deadlines
+//! (so one stalled reader can never wedge a worker forever). When the queue
+//! is full the accept loop sheds the connection with a [`Message::Busy`]
+//! reply instead of letting the backlog grow without bound, and a global
+//! in-flight cap sheds individual requests the same way. The request →
+//! response logic lives in [`ServerState::respond`], shared with
 //! [`InMemoryServer`] so the fault-injection tests exercise byte-for-byte
-//! the same responder as the real sockets. Shutdown is cooperative: a
-//! shared `AtomicBool` plus a self-connection to wake the blocked
-//! `accept()`.
+//! the same responder as the real sockets. Workers catch handler panics —
+//! a panic increments [`ServeMetrics::worker_panics`] and the worker goes
+//! back to the queue, so the pool never shrinks — and every lock access
+//! recovers from poisoning by inheriting the last good value (counted in
+//! [`ServeMetrics::lock_recoveries`]). Shutdown is cooperative: a shared
+//! `AtomicBool` plus a self-connection to wake the blocked `accept()`.
 
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use dre_bayes::MixturePrior;
 
-use crate::frame::{self, ErrorCode, Message, DEFAULT_MAX_FRAME_LEN};
+use crate::frame::{self, ErrorCode, HealthStatus, Message, DEFAULT_MAX_FRAME_LEN};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::transport::{Responder, TcpTransport, Transport};
 use crate::{Result, ServeError};
@@ -34,6 +41,18 @@ pub struct ServeConfig {
     pub write_timeout: Option<Duration>,
     /// Cap on a frame's declared body length.
     pub max_frame_len: usize,
+    /// Accepted connections that may wait for a worker before the accept
+    /// loop starts shedding with `Busy` replies.
+    pub queue_bound: usize,
+    /// Global cap on requests being served at once; requests beyond it get
+    /// a `Busy` reply instead of a response.
+    pub max_in_flight: usize,
+    /// Requests served on one connection before the server closes it — a
+    /// fairness valve so a single chatty client cannot hold a worker
+    /// forever (clients reconnect transparently on the next attempt).
+    pub max_requests_per_conn: usize,
+    /// Backoff hint carried inside `Busy` replies.
+    pub busy_retry_after: Duration,
 }
 
 impl Default for ServeConfig {
@@ -43,6 +62,10 @@ impl Default for ServeConfig {
             read_timeout: Some(Duration::from_secs(5)),
             write_timeout: Some(Duration::from_secs(5)),
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            queue_bound: 64,
+            max_in_flight: 64,
+            max_requests_per_conn: 1024,
+            busy_retry_after: Duration::from_millis(25),
         }
     }
 }
@@ -57,8 +80,8 @@ pub struct ReportedModel {
 }
 
 /// Everything the responder needs: the prior registry, collected model
-/// reports, and server-side metrics.
-#[derive(Debug, Default)]
+/// reports, load gauges, and server-side metrics.
+#[derive(Debug)]
 pub struct ServerState {
     /// Pre-encoded `dro_edge::transfer` payloads keyed by task id.
     registry: RwLock<HashMap<u64, Arc<Vec<u8>>>>,
@@ -66,12 +89,60 @@ pub struct ServerState {
     reports: Mutex<Vec<ReportedModel>>,
     /// Server-side transfer metrics.
     metrics: ServeMetrics,
+    /// Connections accepted but not yet picked up by a worker.
+    pending: AtomicU64,
+    /// Requests currently inside `respond_bytes` across all workers.
+    in_flight: AtomicU64,
+    /// Chaos hook: a `PriorRequest` for this task id panics inside the
+    /// handler. `u64::MAX` disables the hook.
+    panic_on_task: AtomicU64,
+}
+
+impl Default for ServerState {
+    fn default() -> Self {
+        ServerState {
+            registry: RwLock::new(HashMap::new()),
+            reports: Mutex::new(Vec::new()),
+            metrics: ServeMetrics::new(),
+            pending: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            panic_on_task: AtomicU64::new(u64::MAX),
+        }
+    }
 }
 
 impl ServerState {
     /// Empty state: no priors registered, no reports.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Read access to the registry, recovering from poisoning: a panic
+    /// mid-*write* can at worst have replaced one task's payload `Arc`
+    /// (`HashMap::insert` is not observable half-done through these
+    /// guards), so inheriting the map is safe and beats refusing service.
+    fn registry_read(&self) -> RwLockReadGuard<'_, HashMap<u64, Arc<Vec<u8>>>> {
+        self.registry.read().unwrap_or_else(|poisoned| {
+            self.metrics.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Write access to the registry with the same poison-recovery policy.
+    fn registry_write(&self) -> RwLockWriteGuard<'_, HashMap<u64, Arc<Vec<u8>>>> {
+        self.registry.write().unwrap_or_else(|poisoned| {
+            self.metrics.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// The reports log, recovering from poisoning (a `Vec::push` either
+    /// happened or did not — both leave a valid log).
+    fn reports_lock(&self) -> MutexGuard<'_, Vec<ReportedModel>> {
+        self.reports.lock().unwrap_or_else(|poisoned| {
+            self.metrics.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
     }
 
     /// Registers (or replaces) the prior served for `task_id`.
@@ -81,18 +152,12 @@ impl ServerState {
 
     /// Registers a raw, already-encoded transfer payload for `task_id`.
     pub fn register_payload(&self, task_id: u64, payload: Vec<u8>) {
-        self.registry
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(task_id, Arc::new(payload));
+        self.registry_write().insert(task_id, Arc::new(payload));
     }
 
     /// Models reported so far, in arrival order.
     pub fn reports(&self) -> Vec<ReportedModel> {
-        self.reports
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .clone()
+        self.reports_lock().clone()
     }
 
     /// Point-in-time server metrics.
@@ -100,18 +165,37 @@ impl ServerState {
         self.metrics.snapshot()
     }
 
+    /// Current load and resilience gauges, as served to `Health` requests.
+    pub fn health_status(&self) -> HealthStatus {
+        HealthStatus {
+            queue_depth: self.pending.load(Ordering::Relaxed) as u32,
+            in_flight: self.in_flight.load(Ordering::Relaxed) as u32,
+            shed_connections: self.metrics.shed_connections.load(Ordering::Relaxed),
+            worker_panics: self.metrics.worker_panics.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Arms the chaos hook: the next `PriorRequest` for `task_id` panics
+    /// inside the handler (exercising worker panic recovery and lock
+    /// poisoning). Pass `u64::MAX` to disarm.
+    pub fn chaos_panic_on_task(&self, task_id: u64) {
+        self.panic_on_task.store(task_id, Ordering::SeqCst);
+    }
+
     /// The protocol's request → response function.
     pub fn respond(&self, request: &Message) -> Message {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let response = match request {
             Message::Ping => Message::Ping,
+            Message::Health => Message::HealthReport(self.health_status()),
             Message::PriorRequest { task_id } => {
-                let payload = self
-                    .registry
-                    .read()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .get(task_id)
-                    .cloned();
+                if *task_id == self.panic_on_task.load(Ordering::SeqCst) {
+                    // Poison the registry on the way down so recovery of
+                    // both the worker and the lock is exercised together.
+                    let _guard = self.registry_write();
+                    panic!("chaos hook: injected handler panic for task {task_id}");
+                }
+                let payload = self.registry_read().get(task_id).cloned();
                 match payload {
                     Some(p) => Message::PriorResponse {
                         payload: p.as_ref().clone(),
@@ -123,13 +207,10 @@ impl ServerState {
                 }
             }
             Message::ModelReport { task_id, params } => {
-                self.reports
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .push(ReportedModel {
-                        task_id: *task_id,
-                        params: params.clone(),
-                    });
+                self.reports_lock().push(ReportedModel {
+                    task_id: *task_id,
+                    params: params.clone(),
+                });
                 Message::Ping
             }
             other => Message::Error {
@@ -178,6 +259,23 @@ impl ServerState {
             .bytes_out
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         self.metrics.latency.record(started.elapsed());
+        bytes
+    }
+
+    /// Encodes a `Busy` reply for a request that is being shed, updating
+    /// the same counters `respond_bytes` would.
+    pub fn busy_bytes(&self, request_len: usize, retry_after: Duration) -> Vec<u8> {
+        self.metrics
+            .bytes_in
+            .fetch_add(request_len as u64, Ordering::Relaxed);
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        self.metrics.busy.fetch_add(1, Ordering::Relaxed);
+        let bytes = frame::encode(&Message::Busy {
+            retry_after_ms: retry_after.as_millis().min(u32::MAX as u128) as u32,
+        });
+        self.metrics
+            .bytes_out
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         bytes
     }
 }
@@ -230,7 +328,9 @@ impl PriorServer {
         let state = Arc::new(ServerState::new());
         let shutdown = Arc::new(AtomicBool::new(false));
 
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        // A *bounded* queue between accept and the workers: when it fills,
+        // the accept loop sheds with `Busy` instead of queueing unboundedly.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.queue_bound.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let workers = config.workers.max(1);
         let mut threads = Vec::with_capacity(workers + 1);
@@ -244,7 +344,18 @@ impl PriorServer {
                     guard.recv()
                 };
                 match stream {
-                    Ok(stream) => serve_connection(stream, &state, &config),
+                    Ok(stream) => {
+                        state.pending.fetch_sub(1, Ordering::Relaxed);
+                        // A panicking handler must not take the worker with
+                        // it: catch, count, and go back to the queue — the
+                        // pool never shrinks.
+                        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || serve_connection(stream, &state, &config),
+                        ));
+                        if outcome.is_err() {
+                            state.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
                     Err(_) => break, // channel closed: shutdown
                 }
             }));
@@ -252,6 +363,7 @@ impl PriorServer {
 
         let accept_state = Arc::clone(&state);
         let accept_shutdown = Arc::clone(&shutdown);
+        let accept_config = config.clone();
         threads.push(std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if accept_shutdown.load(Ordering::SeqCst) {
@@ -262,8 +374,18 @@ impl PriorServer {
                         .metrics
                         .connections
                         .fetch_add(1, Ordering::Relaxed);
-                    if tx.send(stream).is_err() {
-                        break;
+                    accept_state.pending.fetch_add(1, Ordering::Relaxed);
+                    match tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(stream)) => {
+                            accept_state.pending.fetch_sub(1, Ordering::Relaxed);
+                            accept_state
+                                .metrics
+                                .shed_connections
+                                .fetch_add(1, Ordering::Relaxed);
+                            shed_connection(stream, &accept_state, &accept_config);
+                        }
+                        Err(mpsc::TrySendError::Disconnected(_)) => break,
                     }
                 }
             }
@@ -279,8 +401,41 @@ impl PriorServer {
     }
 }
 
+/// Sheds one connection the accept loop could not queue: drains the
+/// request that is (probably) already in flight, answers `Busy`, and hangs
+/// up. Short deadlines keep a slow client from stalling the accept loop.
+fn shed_connection(stream: TcpStream, state: &ServerState, config: &ServeConfig) {
+    let deadline = Some(
+        config
+            .write_timeout
+            .unwrap_or(Duration::from_millis(250))
+            .min(Duration::from_millis(250)),
+    );
+    let mut transport = match TcpTransport::with_deadlines(stream, deadline, deadline) {
+        Ok(t) => t,
+        Err(_) => return,
+    };
+    // Read the pending request so closing the socket after the reply does
+    // not reset it out from under the client; tolerate failures — the
+    // `Busy` write below is best-effort either way.
+    let mut request_len = 0usize;
+    let mut lenb = [0u8; frame::LEN_PREFIX];
+    if matches!(transport.recv_exact_or_eof(&mut lenb), Ok(true)) {
+        let len = u32::from_le_bytes(lenb) as usize;
+        if len <= config.max_frame_len {
+            let mut body = vec![0u8; len];
+            if transport.recv_exact(&mut body).is_ok() {
+                request_len = frame::LEN_PREFIX + len;
+            }
+        }
+    }
+    let reply = state.busy_bytes(request_len, config.busy_retry_after);
+    let _ = transport.send(&reply);
+}
+
 /// Runs one accepted connection to completion: frames in, frames out,
-/// until the client hangs up, a deadline expires, or a fatal frame error.
+/// until the client hangs up, a deadline expires, a fatal frame error, or
+/// the per-connection request cap.
 fn serve_connection(stream: TcpStream, state: &ServerState, config: &ServeConfig) {
     let mut transport = match TcpTransport::with_deadlines(
         stream,
@@ -290,7 +445,8 @@ fn serve_connection(stream: TcpStream, state: &ServerState, config: &ServeConfig
         Ok(t) => t,
         Err(_) => return,
     };
-    loop {
+    let mut served = 0usize;
+    while served < config.max_requests_per_conn.max(1) {
         // Raw frame bytes are re-read here rather than via `read_frame` so
         // that `respond_bytes` (shared with the in-memory server) is the
         // single place where decode errors map to protocol replies.
@@ -317,10 +473,27 @@ fn serve_connection(stream: TcpStream, state: &ServerState, config: &ServeConfig
         if transport.recv_exact(&mut request[frame::LEN_PREFIX..]).is_err() {
             return;
         }
-        let reply = state.respond_bytes(&request);
+        // Global in-flight cap: requests beyond it are shed with `Busy`
+        // rather than queued behind the worker pool. The decrement lives in
+        // a drop guard so the gauge survives a panicking handler.
+        struct InFlight<'a>(&'a AtomicU64);
+        impl Drop for InFlight<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let in_flight = state.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        let _gauge = InFlight(&state.in_flight);
+        let reply = if in_flight as usize > config.max_in_flight.max(1) {
+            state.busy_bytes(request.len(), config.busy_retry_after)
+        } else {
+            state.respond_bytes(&request)
+        };
+        drop(_gauge);
         if transport.send(&reply).is_err() {
             return;
         }
+        served += 1;
     }
 }
 
@@ -487,5 +660,135 @@ mod tests {
         handle.shutdown();
         handle.shutdown(); // idempotent
         assert!(handle.metrics().requests >= 2);
+    }
+
+    #[test]
+    fn health_reports_load_gauges() {
+        let state = ServerState::new();
+        match state.respond(&Message::Health) {
+            Message::HealthReport(h) => {
+                assert_eq!(h, HealthStatus::default());
+            }
+            other => panic!("expected HealthReport, got {}", other.kind_name()),
+        }
+        // Health counts as a served request, not an error.
+        let m = state.metrics();
+        assert_eq!(m.requests, 1);
+        assert_eq!(m.responses_ok, 1);
+        assert_eq!(m.errors, 0);
+    }
+
+    #[test]
+    fn busy_bytes_counts_and_encodes_the_hint() {
+        let state = ServerState::new();
+        let reply = state.busy_bytes(10, Duration::from_millis(40));
+        assert_eq!(
+            frame::decode(&reply).unwrap(),
+            Message::Busy { retry_after_ms: 40 }
+        );
+        let m = state.metrics();
+        assert_eq!(m.busy, 1);
+        assert_eq!(m.requests, 1);
+        assert_eq!(m.bytes_in, 10);
+        assert_eq!(m.bytes_out, reply.len() as u64);
+    }
+
+    #[test]
+    fn poisoned_registry_is_recovered_not_fatal() {
+        let state = Arc::new(ServerState::new());
+        state.register_payload(1, vec![7]);
+        // Poison the registry by panicking while holding the write lock.
+        let poisoner = Arc::clone(&state);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.registry.write().unwrap();
+            panic!("poison the registry");
+        })
+        .join();
+        assert!(state.registry.is_poisoned());
+        // Reads and writes still work, inheriting the last good map…
+        assert_eq!(
+            state.respond(&Message::PriorRequest { task_id: 1 }),
+            Message::PriorResponse { payload: vec![7] }
+        );
+        state.register_payload(2, vec![8]);
+        assert_eq!(
+            state.respond(&Message::PriorRequest { task_id: 2 }),
+            Message::PriorResponse { payload: vec![8] }
+        );
+        // …and every recovery is counted.
+        assert!(state.metrics().lock_recoveries >= 3);
+    }
+
+    #[test]
+    fn worker_panic_is_counted_and_the_pool_survives() {
+        let config = ServeConfig {
+            workers: 1, // one worker: if it died, the follow-up would hang
+            read_timeout: Some(Duration::from_secs(2)),
+            ..ServeConfig::default()
+        };
+        let mut handle = PriorServer::bind("127.0.0.1:0", config).unwrap();
+        handle.state().register_payload(1, vec![5]);
+        handle.state().chaos_panic_on_task(13);
+
+        let mut client = crate::client::PriorClient::new(
+            crate::transport::TcpConnector::new(handle.addr()),
+            crate::client::RetryPolicy::no_retries(),
+        );
+        // The poisoned request dies mid-connection: the client sees a
+        // transient transport error (here wrapped by the exhausted
+        // single-attempt budget), never a protocol-level failure.
+        let err = client.fetch_prior_payload(13).unwrap_err();
+        match err {
+            ServeError::RetriesExhausted { last, .. } => {
+                assert!(last.is_retryable(), "worker panic must read as transient")
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+        // The single worker was respawned-in-place: it still serves.
+        assert_eq!(client.fetch_prior_payload(1).unwrap(), vec![5]);
+        let m = handle.metrics();
+        assert_eq!(m.worker_panics, 1);
+        assert!(m.lock_recoveries >= 1, "poisoned registry was inherited");
+        // Health reflects the panic and a drained in-flight gauge.
+        let h = client.health().unwrap();
+        assert_eq!(h.worker_panics, 1);
+        // The health request counts itself; a leaked gauge would read 2+.
+        assert_eq!(h.in_flight, 1, "in-flight gauge must survive the panic");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn per_connection_request_cap_closes_the_stream() {
+        let config = ServeConfig {
+            max_requests_per_conn: 2,
+            ..ServeConfig::default()
+        };
+        let mut handle = PriorServer::bind("127.0.0.1:0", config).unwrap();
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut t = TcpTransport::with_deadlines(
+            stream,
+            Some(Duration::from_secs(2)),
+            Some(Duration::from_secs(2)),
+        )
+        .unwrap();
+        for _ in 0..2 {
+            frame::write_frame(&mut t, &Message::Ping).unwrap();
+            let (reply, _) = frame::read_frame(&mut t, DEFAULT_MAX_FRAME_LEN).unwrap();
+            assert_eq!(reply, Message::Ping);
+        }
+        // Third request on the same connection: the server has hung up.
+        let _ = frame::write_frame(&mut t, &Message::Ping);
+        assert!(frame::read_frame(&mut t, DEFAULT_MAX_FRAME_LEN).is_err());
+        // A fresh connection is served normally.
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut t = TcpTransport::with_deadlines(
+            stream,
+            Some(Duration::from_secs(2)),
+            Some(Duration::from_secs(2)),
+        )
+        .unwrap();
+        frame::write_frame(&mut t, &Message::Ping).unwrap();
+        assert!(frame::read_frame(&mut t, DEFAULT_MAX_FRAME_LEN).is_ok());
+        handle.shutdown();
     }
 }

@@ -180,6 +180,12 @@ pub struct FaultConfig {
     pub delay_prob: f64,
     /// The injected delay duration.
     pub delay: Duration,
+    /// Hard network partition: every exchange before logical step
+    /// `partition_until` is dropped unconditionally (no RNG consumed), so
+    /// chaos tests express partition-then-heal without wall-clock sleeps.
+    /// The step counter advances only via
+    /// [`FaultyConnector::advance_step`]; 0 disables the partition.
+    pub partition_until: u64,
 }
 
 impl Default for FaultConfig {
@@ -190,6 +196,7 @@ impl Default for FaultConfig {
             corrupt_prob: 0.0,
             delay_prob: 0.0,
             delay: Duration::from_millis(1),
+            partition_until: 0,
         }
     }
 }
@@ -206,6 +213,8 @@ pub struct FaultCounts {
     pub bit_flips: u64,
     /// Deliveries delayed.
     pub delays: u64,
+    /// Exchanges dropped by the hard partition window.
+    pub partition_drops: u64,
 }
 
 /// Seeded fault source shared by every [`FaultyTransport`] a
@@ -216,6 +225,7 @@ pub struct FaultInjector {
     rng: StdRng,
     config: FaultConfig,
     counts: FaultCounts,
+    step: u64,
 }
 
 impl FaultInjector {
@@ -225,12 +235,29 @@ impl FaultInjector {
             rng: StdRng::seed_from_u64(seed),
             config,
             counts: FaultCounts::default(),
+            step: 0,
         }
     }
 
     /// Faults injected so far.
     pub fn counts(&self) -> FaultCounts {
         self.counts
+    }
+
+    /// The current logical step (see [`FaultConfig::partition_until`]).
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Advances the logical step clock by one.
+    pub fn advance_step(&mut self) {
+        self.step += 1;
+    }
+
+    /// Installs (or clears, with 0) a hard partition lasting until the
+    /// step clock reaches `until`.
+    pub fn partition_until(&mut self, until: u64) {
+        self.config.partition_until = until;
     }
 
     fn roll(&mut self, p: f64) -> bool {
@@ -241,6 +268,14 @@ impl FaultInjector {
     /// the (possibly mangled) response bytes come out — or `Err` when the
     /// connection was dropped.
     fn exchange(&mut self, request: &[u8], respond: impl FnOnce(&[u8]) -> Vec<u8>) -> Result<Vec<u8>> {
+        if self.step < self.config.partition_until {
+            // Hard drop, before any RNG roll: the fault schedule after the
+            // partition heals is identical to a run that never had one.
+            self.counts.partition_drops += 1;
+            return Err(ServeError::InjectedFault {
+                what: "network partitioned",
+            });
+        }
         if self.roll(self.config.delay_prob) {
             self.counts.delays += 1;
             std::thread::sleep(self.config.delay);
@@ -345,6 +380,32 @@ impl<R: Responder> FaultyConnector<R> {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .counts()
     }
+
+    /// Advances the shared injector's logical step clock by one (chaos
+    /// harnesses call this once per fleet round).
+    pub fn advance_step(&self) {
+        self.injector
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .advance_step();
+    }
+
+    /// The injector's current logical step.
+    pub fn step(&self) -> u64 {
+        self.injector
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .step()
+    }
+
+    /// Installs (or clears, with 0) a hard partition lasting until the
+    /// shared step clock reaches `until`.
+    pub fn partition_until(&self, until: u64) {
+        self.injector
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .partition_until(until);
+    }
 }
 
 impl<R: Responder> Connector for FaultyConnector<R> {
@@ -423,5 +484,40 @@ mod tests {
         // The schedule actually exercised each adverse path.
         assert!(ca.drops > 0 && ca.truncations > 0 && ca.bit_flips > 0);
         assert!(a.contains(&"ok"));
+    }
+
+    #[test]
+    fn partition_until_hard_drops_every_frame_then_heals() {
+        let config = FaultConfig {
+            partition_until: 3,
+            ..FaultConfig::default()
+        };
+        let mut conn = FaultyConnector::new(Echo, FaultInjector::new(5, config));
+        for step in 0..6u64 {
+            assert_eq!(conn.step(), step);
+            let mut t = conn.connect().unwrap();
+            let out = frame::write_frame(&mut t, &Message::Ping)
+                .and_then(|_| frame::read_frame(&mut t, frame::DEFAULT_MAX_FRAME_LEN));
+            if step < 3 {
+                assert!(
+                    matches!(out, Err(ServeError::InjectedFault { what }) if what.contains("partition")),
+                    "step {step} should be inside the partition"
+                );
+            } else {
+                assert!(out.is_ok(), "step {step} should be healed");
+            }
+            conn.advance_step();
+        }
+        assert_eq!(conn.fault_counts().partition_drops, 3);
+
+        // Re-partitioning mid-session works the same way.
+        conn.partition_until(8);
+        let mut t = conn.connect().unwrap();
+        let out = frame::write_frame(&mut t, &Message::Ping);
+        assert!(matches!(out, Err(ServeError::InjectedFault { .. })));
+        conn.partition_until(0);
+        let mut t = conn.connect().unwrap();
+        frame::write_frame(&mut t, &Message::Ping).unwrap();
+        frame::read_frame(&mut t, frame::DEFAULT_MAX_FRAME_LEN).unwrap();
     }
 }

@@ -88,6 +88,53 @@ fn every_single_byte_corruption_is_caught() {
 }
 
 #[test]
+fn control_plane_kinds_round_trip_and_reject_every_single_byte_corruption() {
+    // The load-shedding and health kinds (5 Busy, 6 Health, 7 HealthReport)
+    // get the same guarantee as the data plane: clean frames round-trip,
+    // and any single-byte corruption is caught by the length check or CRC.
+    let messages = [
+        Message::Busy { retry_after_ms: 25 },
+        Message::Health,
+        Message::HealthReport(dre_serve::HealthStatus {
+            queue_depth: 3,
+            in_flight: 2,
+            shed_connections: 41,
+            worker_panics: 1,
+        }),
+    ];
+    for msg in &messages {
+        let framed = frame::encode(msg);
+        match (msg, frame::decode(&framed).expect("clean frame decodes")) {
+            (Message::Busy { retry_after_ms }, Message::Busy { retry_after_ms: back }) => {
+                assert_eq!(*retry_after_ms, back)
+            }
+            (Message::Health, Message::Health) => {}
+            (Message::HealthReport(h), Message::HealthReport(back)) => assert_eq!(*h, back),
+            (_, other) => panic!("{} decoded as {}", msg.kind_name(), other.kind_name()),
+        }
+        for pos in 0..framed.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut corrupted = framed.clone();
+                corrupted[pos] ^= flip;
+                match frame::decode(&corrupted) {
+                    Err(ServeError::ChecksumMismatch { .. })
+                    | Err(ServeError::MalformedFrame { .. }) => {}
+                    Ok(m) => panic!(
+                        "{}: byte {pos} xor {flip:#04x} slipped through as {}",
+                        msg.kind_name(),
+                        m.kind_name()
+                    ),
+                    Err(other) => panic!(
+                        "{}: byte {pos} xor {flip:#04x}: unexpected error class {other}",
+                        msg.kind_name()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn corrupted_version_byte_is_retryable_not_fatal() {
     // The one subtle spot in the taxonomy: byte 4 is the version byte. A
     // bit flip there must read as retryable corruption (the CRC no longer

@@ -1,0 +1,88 @@
+//! Property tests for [`RetryPolicy::backoff`].
+//!
+//! For every (base, cap, seed, attempt): the delay lies within
+//! `[exponential floor, cap + base]`, the schedule is monotonically
+//! non-decreasing while the exponential part is below the cap, and the
+//! jitter stream is a pure function of the seed. One golden sequence is
+//! pinned so a silent change to the backoff arithmetic or the RNG stream
+//! cannot slip through.
+
+use dre_serve::RetryPolicy;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// The exponential (pre-jitter) part of the schedule, mirrored from the
+/// documented contract: `base · 2^(attempt−2)` capped at `max_backoff`.
+fn exponential_part(policy: &RetryPolicy, attempt: u32) -> Duration {
+    policy
+        .base_backoff
+        .saturating_mul(1u32 << attempt.saturating_sub(2).min(20))
+        .min(policy.max_backoff)
+}
+
+#[test]
+fn backoff_bounds_monotonicity_and_seed_determinism() {
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    // base 0.1–20 ms, cap 1–64 × base, any seed.
+    let cases = (100u64..20_000, 1u32..64, 0u64..u64::MAX);
+    runner
+        .run(&cases, |(base_us, cap_mult, seed)| {
+            let policy = RetryPolicy {
+                max_attempts: 12,
+                base_backoff: Duration::from_micros(base_us),
+                max_backoff: Duration::from_micros(base_us * cap_mult as u64),
+                jitter_seed: seed,
+            };
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let mut prev: Option<(Duration, bool)> = None;
+            for attempt in 2..=12u32 {
+                let d = policy.backoff(attempt, &mut rng_a);
+                // Jitter must be deterministic per seed.
+                prop_assert_eq!(d, policy.backoff(attempt, &mut rng_b));
+                // Bounds: exponential floor ≤ delay ≤ cap + one base of
+                // jitter (and at least one full base from attempt 2 on).
+                let floor = exponential_part(&policy, attempt);
+                prop_assert!(d >= floor, "delay {d:?} under floor {floor:?}");
+                prop_assert!(d >= policy.base_backoff);
+                prop_assert!(d <= policy.max_backoff + policy.base_backoff);
+                // Monotone non-decreasing while the exponential part is
+                // still below the cap (after that, jitter may wiggle).
+                if let Some((prev_d, prev_capped)) = prev {
+                    if !prev_capped {
+                        prop_assert!(
+                            d >= prev_d,
+                            "schedule decreased pre-cap: {prev_d:?} -> {d:?}"
+                        );
+                    }
+                }
+                prev = Some((d, floor >= policy.max_backoff));
+            }
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn golden_backoff_sequence_is_pinned() {
+    // Base 10 ms, cap 160 ms, seed 42: attempts 2–8. The exponential part
+    // runs 10, 20, 40, 80, 160, 160, 160 ms; the rest is seeded jitter.
+    // These exact values pin both the arithmetic and the RNG stream.
+    let policy = RetryPolicy {
+        max_attempts: 8,
+        base_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_millis(160),
+        jitter_seed: 42,
+    };
+    let mut rng = StdRng::seed_from_u64(policy.jitter_seed);
+    let got: Vec<u64> = (2..=8)
+        .map(|attempt| policy.backoff(attempt, &mut rng).as_micros() as u64)
+        .collect();
+    assert_eq!(
+        got,
+        vec![18_143, 23_188, 49_838, 87_011, 167_935, 165_880, 161_253],
+        "backoff schedule drifted from the pinned golden sequence"
+    );
+}

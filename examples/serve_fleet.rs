@@ -1,25 +1,31 @@
-//! A real cloud↔edge serving fleet on loopback TCP: the cloud fits a DP
-//! prior and serves it; N device threads fetch it over the framed wire
-//! protocol, run the DRO-EM pipeline on local few-shot data, and report
-//! their fitted models back. Transfer metrics are printed from both ends —
-//! the byte counts are *measured* frame sizes, the same numbers the
-//! `dre-edgesim` simulator charges.
+//! A real cloud↔edge serving fleet on loopback TCP — including the part
+//! where the cloud *dies*. The cloud fits a DP prior and serves it; N
+//! devices run the graceful-degradation `EdgeRuntime` (circuit breaker,
+//! stale-prior cache, local-ERM fallback) through fetch→fit→report
+//! rounds. Mid-run the server is killed, the fleet rides the degradation
+//! ladder (watch the per-device mode tags walk fresh → stale → local and
+//! the breakers trip), then the server restarts on the same port and the
+//! fleet recovers. Byte counts are *measured* frame sizes, the same
+//! numbers the `dre-edgesim` simulator charges.
 //!
 //! ```sh
 //! cargo run -p dre-integration --example serve_fleet --release [fleet_size]
 //! ```
 
+use std::time::Duration;
+
 use dre_data::{TaskFamily, TaskFamilyConfig};
 use dre_prob::seeded_rng;
 use dre_serve::{
-    frame, PriorClient, PriorServer, RetryPolicy, ServeConfig, TcpConnector,
+    frame, BreakerConfig, BreakerState, EdgeRuntime, EdgeRuntimeConfig, PriorServer, RetryPolicy,
+    ServeConfig, TcpConnector,
 };
-use dro_edge::{CloudKnowledge, EdgeLearner, EdgeLearnerConfig};
+use dro_edge::{CloudKnowledge, EdgeLearnerConfig};
 
 const TASK_ID: u64 = 1;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let fleet: usize = std::env::args()
+    let fleet_size: usize = std::env::args()
         .nth(1)
         .map(|a| a.parse())
         .transpose()?
@@ -40,7 +46,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = prior.num_components();
     let dim = family.config().dim;
 
-    let mut server = PriorServer::bind("127.0.0.1:0", ServeConfig::default())?;
+    let serve_config = ServeConfig {
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+        ..ServeConfig::default()
+    };
+    let mut server = PriorServer::bind("127.0.0.1:0", serve_config.clone())?;
     server.register_prior(TASK_ID, &prior);
     let addr = server.addr();
 
@@ -51,53 +62,116 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "measured frames: PriorRequest = {request_frame} B, PriorResponse = {response_frame} B\n"
     );
 
-    // ── Edge side: N devices fetch, fit, and report concurrently ───────
-    let learner_config = EdgeLearnerConfig {
-        em_rounds: 5,
-        solver_iters: 80,
-        ..EdgeLearnerConfig::default()
+    // ── Edge side: a fleet of graceful-degradation runtimes ────────────
+    let runtime_config = EdgeRuntimeConfig {
+        task_id: TASK_ID,
+        learner: EdgeLearnerConfig {
+            em_rounds: 5,
+            solver_iters: 80,
+            ..EdgeLearnerConfig::default()
+        },
+        erm_lambda: 1e-3,
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown_steps: 1,
+            cooldown_jitter: 0,
+            seed: 0,
+        },
+        stale_ttl: 2,
+        report_models: true,
     };
-    let handles: Vec<_> = (0..fleet)
+    let policy = RetryPolicy {
+        max_attempts: 2,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(8),
+        jitter_seed: 7,
+    };
+    let mut fleet: Vec<_> = (0..fleet_size)
         .map(|i| {
-            let family = family.clone();
-            std::thread::spawn(move || -> Result<_, dre_serve::ServeError> {
-                let mut client =
-                    PriorClient::new(TcpConnector::new(addr), RetryPolicy::default());
-                let fetched = client.fetch_prior(TASK_ID)?;
-
-                let mut rng = seeded_rng(31_000 + i as u64);
-                let task = family.sample_task(&mut rng);
-                let train = task.generate(30, &mut rng);
-                let fit = EdgeLearner::new(learner_config, fetched)
-                    .expect("valid learner config")
-                    .fit(&train)
-                    .expect("EM fit");
-
-                client.report_model(TASK_ID, fit.model.to_packed())?;
-                Ok((fit.robust_risk, fit.em_rounds, client.metrics()))
-            })
+            let mut rng = seeded_rng(31_000 + i as u64);
+            let task = family.sample_task(&mut rng);
+            let train = task.generate(30, &mut rng);
+            let rt = EdgeRuntime::new(TcpConnector::new(addr), policy.clone(), runtime_config.clone());
+            (train, rt)
         })
         .collect();
 
-    println!("{:<8} {:>14} {:>10} {:>10} {:>10}", "device", "robust-risk", "em-rounds", "bytes-in", "bytes-out");
-    for (i, h) in handles.into_iter().enumerate() {
-        let (risk, rounds, metrics) = h.join().expect("device thread")?;
-        println!(
-            "{i:<8} {risk:>14.4} {rounds:>10} {:>10} {:>10}",
-            metrics.bytes_in, metrics.bytes_out
-        );
+    // ── fetch→fit→report rounds, with a mid-run cloud crash ────────────
+    // Rounds 0–1 healthy, crash before round 2, restart before round 5.
+    let rounds = 7usize;
+    let mut restarted: Option<dre_serve::ServerHandle> = None;
+    print!("{:<28}", "round");
+    for dev in 0..fleet_size {
+        print!("{:>12}", format!("dev{dev}"));
+    }
+    println!();
+    for round in 0..rounds {
+        if round == 2 {
+            server.shutdown();
+            println!("-- server killed ({addr} refuses connections) --");
+        }
+        if round == 5 {
+            // Same port: the fleet's cached address stays valid.
+            let mut s = None;
+            for _ in 0..100 {
+                match PriorServer::bind(&addr.to_string(), serve_config.clone()) {
+                    Ok(bound) => {
+                        s = Some(bound);
+                        break;
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+            let s = s.expect("could not rebind the server port");
+            s.register_prior(TASK_ID, &prior);
+            restarted = Some(s);
+            println!("-- server restarted on {addr} --");
+        }
+        print!("{:<28}", format!("round {round} mode (breaker)"));
+        for (train, rt) in fleet.iter_mut() {
+            let fit = rt.fit_step(train)?;
+            let b = rt.breaker().state();
+            let state = match b {
+                BreakerState::Closed => "C",
+                BreakerState::Open => "O",
+                BreakerState::HalfOpen => "H",
+            };
+            print!("{:>12}", format!("{}({state})", fit.mode.tag()));
+        }
+        println!();
     }
 
-    // ── Transfer metrics, as the server saw them ───────────────────────
-    let m = server.metrics();
-    println!("\nserver metrics:\n{m}");
+    // ── What the ladder did, per device ────────────────────────────────
+    println!("\n{:<8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>9} {:>9}",
+        "device", "fresh", "stale", "local", "opens", "closes", "bytes-in", "bytes-out");
+    for (dev, (_, rt)) in fleet.iter().enumerate() {
+        let c = rt.counters();
+        let m = rt.client().metrics();
+        println!(
+            "{dev:<8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>9} {:>9}",
+            c.fresh_fits,
+            c.stale_fits,
+            c.local_only_fits,
+            rt.breaker().opens(),
+            rt.breaker().closes(),
+            m.bytes_in,
+            m.bytes_out,
+        );
+        assert_eq!(rt.breaker().state(), BreakerState::Closed);
+    }
+
+    // ── Transfer metrics, as the restarted server saw them ─────────────
+    let mut restarted = restarted.expect("server restarts at round 5");
+    let m = restarted.metrics();
+    println!("\nrestarted-server metrics:\n{m}");
     println!(
-        "\n{} models reported back; refitting the lifelong prior would start\n\
-         from these. Every byte above was measured on the wire — compare\n\
-         `prior_transfer_bytes({k}, {dim})` = {} in the simulator.",
-        server.reports().len(),
+        "\nNo device ever failed a round: while the cloud was down they fit\n\
+         on the stale cached prior (TTL 2 rounds) and then pure local ERM,\n\
+         and every breaker re-closed after the restart. Every byte above\n\
+         was measured on the wire — compare `prior_transfer_bytes({k}, {dim})`\n\
+         = {} in the simulator.",
         dre_edgesim::prior_transfer_bytes(k, dim),
     );
-    server.shutdown();
+    restarted.shutdown();
     Ok(())
 }

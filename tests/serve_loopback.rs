@@ -9,7 +9,7 @@ use dre_data::{TaskFamily, TaskFamilyConfig};
 use dre_prob::seeded_rng;
 use dre_serve::{
     frame, FaultConfig, FaultInjector, FaultyConnector, InMemoryServer, PriorClient, PriorServer,
-    RetryPolicy, ServeConfig, ServerState, TcpConnector,
+    RetryPolicy, ServeConfig, ServerState, TcpConnector, TcpTransport,
 };
 use dro_edge::{CloudKnowledge, EdgeLearner, EdgeLearnerConfig};
 
@@ -134,6 +134,7 @@ fn faulty_transport_recovers_within_the_retry_budget() {
         corrupt_prob: 0.2,
         delay_prob: 0.1,
         delay: Duration::from_micros(200),
+        ..FaultConfig::default()
     };
     let policy = RetryPolicy {
         max_attempts: 10,
@@ -183,6 +184,91 @@ fn faulty_transport_recovers_within_the_retry_budget() {
         server_a.deterministic_counters(),
         server_b.deterministic_counters()
     );
+}
+
+#[test]
+fn burst_beyond_queue_bound_is_shed_with_busy_and_no_worker_wedges() {
+    // One worker, one queue slot: a connection that never speaks parks the
+    // worker, a second fills the queue, and everything past that must be
+    // shed with `Busy` — never queued unboundedly, never wedging a worker.
+    let config = ServeConfig {
+        workers: 1,
+        queue_bound: 1,
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+        busy_retry_after: Duration::from_millis(7),
+        ..ServeConfig::default()
+    };
+    let mut server = PriorServer::bind("127.0.0.1:0", config).unwrap();
+    server.state().register_payload(TASK_ID, vec![3, 1, 4]);
+    let addr = server.addr();
+
+    // The squatter: connects, says nothing, holds the single worker.
+    let squatter = std::net::TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150)); // worker picks it up
+
+    // The queue filler: sends a request that will only be answered once
+    // the squatter releases the worker.
+    let mut queued = TcpTransport::with_deadlines(
+        std::net::TcpStream::connect(addr).unwrap(),
+        Some(Duration::from_secs(5)),
+        Some(Duration::from_secs(2)),
+    )
+    .unwrap();
+    frame::write_frame(&mut queued, &frame::Message::Ping).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // accept loop queues it
+
+    // The burst: every further connection gets an immediate `Busy` reply
+    // carrying the configured retry-after hint, then a hangup.
+    const BURST: usize = 3;
+    for _ in 0..BURST {
+        let mut t = TcpTransport::with_deadlines(
+            std::net::TcpStream::connect(addr).unwrap(),
+            Some(Duration::from_secs(2)),
+            Some(Duration::from_secs(2)),
+        )
+        .unwrap();
+        frame::write_frame(&mut t, &frame::Message::PriorRequest { task_id: TASK_ID }).unwrap();
+        let (reply, _) = frame::read_frame(&mut t, dre_serve::DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(reply, frame::Message::Busy { retry_after_ms: 7 });
+    }
+
+    // A retrying client sees the same shedding as a typed, retryable error
+    // once its budget runs out mid-overload.
+    let mut impatient = PriorClient::new(TcpConnector::new(addr), RetryPolicy::no_retries());
+    let err = impatient.ping().unwrap_err();
+    match err {
+        dre_serve::ServeError::RetriesExhausted { last, .. } => {
+            assert!(
+                matches!(*last, dre_serve::ServeError::Busy { retry_after }
+                    if retry_after == Duration::from_millis(7)),
+                "overload must surface as Busy with the server's hint"
+            );
+        }
+        other => panic!("expected RetriesExhausted over Busy, got {other}"),
+    }
+    assert_eq!(impatient.metrics().busy, 1);
+
+    // Release the worker: the queued connection drains and is answered —
+    // the worker was waiting, not wedged.
+    drop(squatter);
+    let (reply, _) = frame::read_frame(&mut queued, dre_serve::DEFAULT_MAX_FRAME_LEN).unwrap();
+    assert_eq!(reply, frame::Message::Ping);
+    drop(queued);
+
+    // With the overload gone, a fresh client is served normally again.
+    let mut after = PriorClient::new(TcpConnector::new(addr), RetryPolicy::default());
+    assert_eq!(after.fetch_prior_payload(TASK_ID).unwrap(), vec![3, 1, 4]);
+
+    let m = server.metrics();
+    assert!(
+        m.shed_connections >= (BURST + 1) as u64,
+        "burst connections must be shed, got {}",
+        m.shed_connections
+    );
+    assert!(m.busy >= (BURST + 1) as u64, "busy replies: {}", m.busy);
+    // Shutdown joins every thread — a wedged worker would hang here.
+    server.shutdown();
 }
 
 #[test]
