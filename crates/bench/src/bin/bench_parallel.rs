@@ -467,6 +467,102 @@ fn main() {
          {fleet_ms:.2} ms ({rps_fleet:.0} req/s), corrupted payloads {diff}"
     );
 
+    // -- keep-alive serving hot path ----------------------------------------
+    // Same fleet concurrency, two client modes against one server: a fresh
+    // TCP connect per request (the serve_loopback_rps baseline behaviour)
+    // vs one live stream per client with reusable scratch buffers. The
+    // server answers every prior hit from its pre-encoded frame cache in
+    // both modes, so the speedup isolates connection amortization. The
+    // diff counts (a) payloads that arrived byte-different from the
+    // registered one, (b) prior responses NOT served from the cache, and
+    // (c) any byte mismatch between the cached frame and a fresh
+    // `frame::encode` — the hot path must be fast *and* honest, so the
+    // tolerance is zero.
+    let mut server = PriorServer::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: client_threads,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    server.register_prior(1, &prior);
+    let addr = server.addr();
+    let run_mode = |keep_alive: bool| -> usize {
+        let per = total_requests / client_threads;
+        let handles: Vec<_> = (0..client_threads)
+            .map(|_| {
+                let expected = std::sync::Arc::clone(&expected);
+                std::thread::spawn(move || {
+                    let mut client =
+                        PriorClient::new(TcpConnector::new(addr), RetryPolicy::default())
+                            .keep_alive(keep_alive);
+                    let mut corrupted = 0usize;
+                    let mut payload = Vec::new();
+                    for _ in 0..per {
+                        client
+                            .fetch_prior_payload_into(1, &mut payload)
+                            .expect("loopback fetch");
+                        if payload.as_slice() != expected.as_slice() {
+                            corrupted += 1;
+                        }
+                    }
+                    corrupted
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum()
+    };
+    let (fresh_ms, bad_fresh) = time_best(3, || run_mode(false));
+    let (keepalive_ms, bad_keepalive) = time_best(3, || run_mode(true));
+    let server_metrics = server.metrics();
+    let uncached = server_metrics
+        .responses_ok
+        .saturating_sub(server_metrics.prior_cache_hits) as usize;
+    let cached_frame = server
+        .state()
+        .prior_entry(1)
+        .expect("registered prior is cached")
+        .frame;
+    let fresh_encode = dre_serve::frame::encode(&dre_serve::frame::Message::PriorResponse {
+        payload: (*expected).clone(),
+    });
+    let frame_mismatch = usize::from(cached_frame[..] != fresh_encode[..]);
+    server.shutdown();
+    let diff = (bad_fresh + bad_keepalive + uncached + frame_mismatch) as f64;
+    let rps_fresh = total_requests as f64 / (fresh_ms / 1e3);
+    let rps_keepalive = total_requests as f64 / (keepalive_ms / 1e3);
+    let name = "serve_loopback_rps_keepalive".to_string();
+    kernels.push(KernelReport {
+        json: JsonValue::object([
+            ("name", JsonValue::from(name.as_str())),
+            ("fresh_ms", JsonValue::from(fresh_ms)),
+            ("keepalive_ms", JsonValue::from(keepalive_ms)),
+            ("speedup", JsonValue::from(fresh_ms / keepalive_ms)),
+            ("requests", JsonValue::from(total_requests)),
+            ("clients", JsonValue::from(client_threads)),
+            // Single-core numbers are self-describing: this is the host's
+            // thread count, not the fleet size.
+            ("threads", JsonValue::from(dre_parallel::max_threads())),
+            ("rps_fresh", JsonValue::from(rps_fresh)),
+            ("rps_keepalive", JsonValue::from(rps_keepalive)),
+            ("max_abs_diff", JsonValue::from(diff)),
+            ("tolerance", JsonValue::from(0.0)),
+        ]),
+        name: name.clone(),
+        diff,
+        tolerance: 0.0,
+    });
+    println!(
+        "{name}: fresh-connect {fresh_ms:.2} ms ({rps_fresh:.0} req/s), keep-alive \
+         {keepalive_ms:.2} ms ({rps_keepalive:.0} req/s), speedup {:.2}x, \
+         uncached {uncached}, frame mismatches {frame_mismatch}",
+        fresh_ms / keepalive_ms
+    );
+
     // -- edge runtime under chaos: fits/sec and the floor invariant ---------
     // The graceful-degradation runtime (breaker + stale cache + local
     // fallback) over healthy vs. heavily faulted in-memory links. The diff

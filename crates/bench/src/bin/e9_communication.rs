@@ -7,10 +7,16 @@
 //! that queues under fleet load). Expected shape: prior transfer moves one
 //! to two orders of magnitude fewer bytes than raw upload in every case,
 //! its makespan is flat in fleet size, and it wins outright once the cloud
-//! is contended.
+//! is contended. A second table turns on the connection model and compares
+//! the serving layer's two client modes: fresh-per-request pays a
+//! handshake round trip per message, keep-alive pays once per device
+//! round — bytes identical, latency not.
 
 use dre_bench::{standard_cloud, standard_family, Table};
-use dre_edgesim::{prior_transfer_bytes, ComputeModel, DeviceSpec, Link, Scenario, Strategy};
+use dre_edgesim::{
+    model_report_bytes, prior_transfer_bytes, ClientMode, ComputeModel, DeviceSpec, Link,
+    RetryModel, Scenario, SimDuration, Strategy,
+};
 
 fn main() {
     let (family, mut rng) = standard_family(909);
@@ -98,4 +104,60 @@ fn main() {
         }
     }
     table.emit();
+
+    // ── Connection model: fresh-per-request vs keep-alive ──────────────
+    // The serving layer's keep-alive client holds one stream per device
+    // round; the simulator mirrors it. Every fresh connection costs a
+    // handshake round trip (time only — frame bytes are identical in
+    // both modes), so under lossy conditions that force retries the
+    // per-message redials of a fresh-per-request client stack up while
+    // keep-alive pays once. Bytes include the ModelReport telemetry leg
+    // the connection model adds.
+    println!(
+        "\nconnection model: prior transfer through a 150 ms cloud outage \
+         (60 ms retry deadline), report frame = {} B",
+        model_report_bytes(dim)
+    );
+    let mut conn_table = Table::new(
+        "E9-conn",
+        "handshake cost per client mode on the prior-transfer round",
+        &["client-mode", "handshakes", "attempts", "total-KB", "makespan-ms"],
+    );
+    for (name, mode) in [
+        ("fresh-per-request", ClientMode::FreshPerRequest),
+        ("keep-alive", ClientMode::KeepAlive),
+    ] {
+        let mut scenario = Scenario::new(ComputeModel {
+            device_flops: 2e9,
+            ..ComputeModel::default()
+        })
+        .with_retry(RetryModel {
+            timeout: SimDuration::from_millis_f64(60.0),
+            max_attempts: 5,
+        })
+        .with_outage(SimDuration::ZERO, SimDuration::from_millis_f64(150.0))
+        .with_client_mode(mode);
+        for _ in 0..10 {
+            scenario.add_device(DeviceSpec {
+                link,
+                strategy: Strategy::PriorTransfer {
+                    samples,
+                    dim,
+                    iterations: 100,
+                    em_rounds: 5,
+                    prior_components,
+                },
+            });
+        }
+        let report = scenario.run();
+        let d = &report.devices[0];
+        conn_table.push_row(vec![
+            name.to_string(),
+            d.handshakes.to_string(),
+            d.attempts.to_string(),
+            format!("{:.1}", report.total_bytes as f64 / 1024.0),
+            format!("{:.1}", report.makespan.as_secs_f64() * 1e3),
+        ]);
+    }
+    conn_table.emit();
 }

@@ -135,6 +135,7 @@ pub fn degraded_runtime_config() -> EdgeRuntimeConfig {
         },
         stale_ttl: 2,
         report_models: true,
+        keep_alive: false,
     }
 }
 

@@ -58,6 +58,10 @@ pub enum MessageKind {
     RawData,
     /// The cloud returns a trained model.
     ModelPayload,
+    /// A device reports its fitted model back to the cloud (the
+    /// `dre-serve` `ModelReport` telemetry leg; only modeled when a
+    /// [`crate::ClientMode`] is configured).
+    ModelReport,
 }
 
 /// Min-heap of `(time, sequence, event)` with FIFO tie-breaking, so

@@ -24,6 +24,14 @@
 //! fallback — each [`DeviceReport`] is tagged with the [`FitMode`] rung
 //! that produced its model, matching the real runtime's vocabulary.
 //!
+//! Connection costs are opt-in: [`Scenario::with_client_mode`] charges
+//! every fresh connection one transport-handshake round trip (time only,
+//! separate from frame bytes) and adds the `ModelReport` telemetry leg
+//! ([`model_report_bytes`]). [`ClientMode::FreshPerRequest`] pays the
+//! handshake per message; [`ClientMode::KeepAlive`] — the mirror of
+//! `dre-serve`'s keep-alive `PriorClient` — pays it once per device
+//! round, amortizing it across retries and the report.
+//!
 //! # Example
 //!
 //! ```
@@ -50,8 +58,9 @@ mod time;
 pub use event::{Event, EventQueue};
 pub use network::Link;
 pub use scenario::{
-    model_bytes, prior_transfer_bytes, raw_data_bytes, ComputeModel, DeviceReport, DeviceSpec,
-    EnergyModel, RetryModel, Scenario, SimReport, Strategy, REQUEST_BYTES,
+    model_bytes, model_report_bytes, prior_transfer_bytes, raw_data_bytes, ClientMode,
+    ComputeModel, DeviceReport, DeviceSpec, EnergyModel, RetryModel, Scenario, SimReport,
+    Strategy, REQUEST_BYTES,
 };
 pub use time::{SimDuration, SimTime};
 

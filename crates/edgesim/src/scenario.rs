@@ -115,6 +115,29 @@ pub enum Strategy {
     },
 }
 
+/// How a device's serving client manages its connection to the cloud —
+/// the simulator's mirror of `dre-serve`'s `PriorClient` modes.
+///
+/// Configuring a mode ([`Scenario::with_client_mode`]) turns on the
+/// connection model: every *fresh* connection costs one extra round trip
+/// (the transport handshake — two propagation legs before the request's
+/// first byte departs), charged as time only, and devices that land a
+/// prior report their fitted model back over a framed `ModelReport`
+/// ([`model_report_bytes`]). Without a mode the simulator keeps its legacy
+/// behaviour: frames appear on the wire with no per-connection cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientMode {
+    /// A fresh connection per request: every message — each prior-request
+    /// attempt and the model report — pays the handshake.
+    FreshPerRequest,
+    /// One persistent connection per device round: only the first message
+    /// pays the handshake; retries and the model report reuse the stream.
+    /// (The outage window drops requests at the application layer, so the
+    /// stream itself stays up — matching the real client, where only a
+    /// transport failure forces a reconnect.)
+    KeepAlive,
+}
+
 /// One device: its link to the cloud and its strategy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceSpec {
@@ -181,6 +204,11 @@ pub struct DeviceReport {
     pub mode: FitMode,
     /// Prior/upload request attempts made (0 for [`Strategy::EdgeOnly`]).
     pub attempts: u32,
+    /// Transport handshakes the device performed. Always 0 unless a
+    /// [`ClientMode`] is configured; under
+    /// [`ClientMode::FreshPerRequest`] every message pays one, under
+    /// [`ClientMode::KeepAlive`] only the round's first message does.
+    pub handshakes: u32,
 }
 
 impl DeviceReport {
@@ -203,6 +231,10 @@ pub struct SimReport {
     pub cloud_busy: SimDuration,
     /// Prior requests silently dropped by the cloud outage window.
     pub dropped_requests: u64,
+    /// Framed `ModelReport` messages the cloud received (0 unless a
+    /// [`ClientMode`] is configured — the report leg is part of the
+    /// connection model).
+    pub model_reports: u64,
 }
 
 /// Size in bytes of a raw-sample upload: `n·d` features + `n` labels, 8
@@ -229,6 +261,15 @@ pub const fn prior_transfer_bytes(components: usize, dim: usize) -> u64 {
     dre_serve::frame::prior_response_frame_len(components, dim + 1) as u64
 }
 
+/// Size in bytes of the framed `ModelReport` a device sends back after a
+/// successful prior-transfer fit: the packed parameter vector is
+/// `[w…, b]`, so a `dim`-feature model carries `dim + 1` parameters, and
+/// the byte count is the exact `dre-serve` frame length
+/// ([`dre_serve::frame::model_report_frame_len`]).
+pub const fn model_report_bytes(dim: usize) -> u64 {
+    dre_serve::frame::model_report_frame_len(dim + 1) as u64
+}
+
 /// A cloud–edge deployment scenario over a star topology.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -237,6 +278,7 @@ pub struct Scenario {
     devices: Vec<DeviceSpec>,
     retry: Option<RetryModel>,
     outage: Option<(SimTime, SimTime)>,
+    client: Option<ClientMode>,
 }
 
 impl Scenario {
@@ -249,7 +291,19 @@ impl Scenario {
             devices: Vec::new(),
             retry: None,
             outage: None,
+            client: None,
         }
+    }
+
+    /// Turns on the connection model: fresh connections cost a transport
+    /// handshake (one extra round trip, time only — handshake segments
+    /// carry no frame bytes), and prior-transfer devices that land the
+    /// prior report their fitted model back over a framed `ModelReport`.
+    /// [`ClientMode`] decides how often the handshake is paid. Without
+    /// this call the simulator models frames only (the legacy behaviour).
+    pub fn with_client_mode(mut self, mode: ClientMode) -> Self {
+        self.client = Some(mode);
+        self
     }
 
     /// Overrides the device energy model.
@@ -310,13 +364,18 @@ impl Scenario {
                 radio_joules: 0.0,
                 mode: FitMode::LocalOnly,
                 attempts: 0,
+                handshakes: 0,
             })
             .collect();
         // Per-device prior-fetch progress: `Waiting(k)` means attempt `k`
         // is outstanding; `Resolved` means the payload arrived or the
         // device gave up and fell back.
         let mut fetch: Vec<FetchState> = vec![FetchState::NotFetching; self.devices.len()];
+        // Per-device connection state for the keep-alive client mode:
+        // true once the device's persistent stream is up.
+        let mut connected: Vec<bool> = vec![false; self.devices.len()];
         let mut dropped_requests = 0u64;
+        let mut model_reports = 0u64;
         let mut cloud_busy_until = SimTime::ZERO;
         let mut cloud_busy = SimDuration::ZERO;
 
@@ -345,8 +404,9 @@ impl Scenario {
                     reports[i].radio_joules += self.energy.joules_per_byte * bytes as f64;
                     reports[i].mode = FitMode::FreshPrior;
                     reports[i].attempts = 1;
+                    let handshake = self.connect(i, &mut connected, &mut reports);
                     queue.schedule(
-                        SimTime::ZERO + spec.link.transfer_time(bytes),
+                        SimTime::ZERO + handshake + spec.link.transfer_time(bytes),
                         Event::ArriveAtCloud {
                             device: i,
                             bytes,
@@ -357,7 +417,7 @@ impl Scenario {
                 Strategy::PriorTransfer { .. } => {
                     reports[i].mode = FitMode::FreshPrior;
                     fetch[i] = FetchState::Waiting(1);
-                    self.send_prior_request(i, 1, SimTime::ZERO, &mut reports, &mut queue);
+                    self.send_prior_request(i, 1, SimTime::ZERO, &mut connected, &mut reports, &mut queue);
                 }
             }
         }
@@ -366,6 +426,37 @@ impl Scenario {
             match event {
                 Event::DeviceComputeDone { device } => {
                     reports[device].completion = now;
+                    // Connection-model runs add the telemetry leg: a
+                    // device whose prior arrived reports its fitted model
+                    // back over a framed `ModelReport`. Fire-and-forget
+                    // after the model is ready, so completion (and hence
+                    // makespan) stays "model ready on the device".
+                    // Fallback (LocalOnly) devices just exhausted their
+                    // retry budget against an unreachable cloud and do
+                    // not report.
+                    if self.client.is_some()
+                        && reports[device].mode == FitMode::FreshPrior
+                    {
+                        if let Strategy::PriorTransfer { dim, .. } =
+                            self.devices[device].strategy
+                        {
+                            let bytes = model_report_bytes(dim);
+                            reports[device].bytes_sent += bytes;
+                            reports[device].radio_joules +=
+                                self.energy.joules_per_byte * bytes as f64;
+                            let handshake =
+                                self.connect(device, &mut connected, &mut reports);
+                            queue.schedule(
+                                now + handshake
+                                    + self.devices[device].link.transfer_time(bytes),
+                                Event::ArriveAtCloud {
+                                    device,
+                                    bytes,
+                                    kind: MessageKind::ModelReport,
+                                },
+                            );
+                        }
+                    }
                 }
                 Event::ArriveAtCloud { device, kind, .. } => {
                     let spec = &self.devices[device];
@@ -423,6 +514,11 @@ impl Scenario {
                                 cloud_busy_until,
                                 Event::CloudComputeDone { device },
                             );
+                        }
+                        MessageKind::ModelReport => {
+                            // Telemetry sink: the cloud absorbs the report
+                            // (no response leg), so it only counts.
+                            model_reports += 1;
                         }
                         MessageKind::PriorPayload | MessageKind::ModelPayload => {
                             unreachable!("cloud cannot receive its own payload kinds")
@@ -487,8 +583,10 @@ impl Scenario {
                                 );
                             queue.schedule(now + t, Event::DeviceComputeDone { device });
                         }
-                        MessageKind::PriorRequest | MessageKind::RawData => {
-                            unreachable!("devices cannot receive request kinds")
+                        MessageKind::PriorRequest
+                        | MessageKind::RawData
+                        | MessageKind::ModelReport => {
+                            unreachable!("devices cannot receive cloud-bound kinds")
                         }
                     }
                 }
@@ -501,7 +599,14 @@ impl Scenario {
                     let retry = self.retry.expect("RetryTimer scheduled without a RetryModel");
                     if attempt < retry.max_attempts.max(1) {
                         fetch[device] = FetchState::Waiting(attempt + 1);
-                        self.send_prior_request(device, attempt + 1, now, &mut reports, &mut queue);
+                        self.send_prior_request(
+                            device,
+                            attempt + 1,
+                            now,
+                            &mut connected,
+                            &mut reports,
+                            &mut queue,
+                        );
                     } else {
                         // Retry budget exhausted: fall back to local ERM —
                         // the same training the EdgeOnly strategy runs.
@@ -548,25 +653,52 @@ impl Scenario {
             makespan,
             cloud_busy,
             dropped_requests,
+            model_reports,
         }
     }
 
+    /// Charges the transport handshake for one outgoing message, if the
+    /// connection model is enabled and the device needs a fresh
+    /// connection. Returns the extra delay before the message's first
+    /// byte departs: one round trip (two propagation legs) — handshake
+    /// segments carry no frame bytes, so time is the only cost.
+    fn connect(
+        &self,
+        device: usize,
+        connected: &mut [bool],
+        reports: &mut [DeviceReport],
+    ) -> SimDuration {
+        let Some(mode) = self.client else {
+            return SimDuration::ZERO;
+        };
+        if mode == ClientMode::KeepAlive && connected[device] {
+            return SimDuration::ZERO;
+        }
+        connected[device] = true;
+        reports[device].handshakes += 1;
+        let latency = self.devices[device].link.latency();
+        SimDuration::from_micros(2 * latency.as_micros())
+    }
+
     /// Sends (or resends) one prior request for `device`, charging radio
-    /// bytes and energy, and — when a [`RetryModel`] is configured —
-    /// arming the attempt's response deadline.
+    /// bytes and energy — plus the connection handshake when the client
+    /// mode requires a fresh stream — and, when a [`RetryModel`] is
+    /// configured, arming the attempt's response deadline.
     fn send_prior_request(
         &self,
         device: usize,
         attempt: u32,
         now: SimTime,
+        connected: &mut [bool],
         reports: &mut [DeviceReport],
         queue: &mut EventQueue,
     ) {
         reports[device].bytes_sent += REQUEST_BYTES;
         reports[device].radio_joules += self.energy.joules_per_byte * REQUEST_BYTES as f64;
         reports[device].attempts = attempt;
+        let handshake = self.connect(device, connected, reports);
         queue.schedule(
-            now + self.devices[device].link.transfer_time(REQUEST_BYTES),
+            now + handshake + self.devices[device].link.transfer_time(REQUEST_BYTES),
             Event::ArriveAtCloud {
                 device,
                 bytes: REQUEST_BYTES,
@@ -866,6 +998,8 @@ mod tests {
                 for (d, (strategy, ..)) in report.devices.iter().zip(&fleet) {
                     prop_assert!(d.completion > SimTime::ZERO);
                     prop_assert!(d.compute_joules >= 0.0 && d.radio_joules >= 0.0);
+                    // No client mode configured: the connection model is off.
+                    prop_assert_eq!(d.handshakes, 0);
                     match strategy {
                         Strategy::EdgeOnly { .. } => {
                             prop_assert_eq!(d.bytes_sent + d.bytes_received, 0);
@@ -997,6 +1131,115 @@ mod tests {
     }
 
     #[test]
+    fn legacy_runs_model_no_connection_costs() {
+        // Without a client mode the connection model is off: no
+        // handshakes, no report leg — the pre-connection-model numbers.
+        let mut sc = Scenario::new(ComputeModel::default());
+        sc.add_device(DeviceSpec { link: link(), strategy: prior_strategy() });
+        let r = sc.run();
+        assert_eq!(r.devices[0].handshakes, 0);
+        assert_eq!(r.model_reports, 0);
+        assert_eq!(r.devices[0].bytes_sent, REQUEST_BYTES);
+    }
+
+    #[test]
+    fn fresh_per_request_pays_a_handshake_per_message() {
+        let run = |mode: Option<ClientMode>| {
+            let mut sc = Scenario::new(ComputeModel::default());
+            if let Some(mode) = mode {
+                sc = sc.with_client_mode(mode);
+            }
+            sc.add_device(DeviceSpec { link: link(), strategy: prior_strategy() });
+            sc.run()
+        };
+        let legacy = run(None);
+        let fresh = run(Some(ClientMode::FreshPerRequest));
+        let d = &fresh.devices[0];
+        // Two connections: the prior fetch and the model report.
+        assert_eq!(d.handshakes, 2);
+        assert_eq!(fresh.model_reports, 1);
+        // The handshake is time-only; the report leg is the only byte
+        // difference against the legacy run.
+        assert_eq!(d.bytes_sent, REQUEST_BYTES + model_report_bytes(8));
+        assert_eq!(d.bytes_received, prior_transfer_bytes(2, 8));
+        // Exactly one handshake round trip (2 × 20 ms) sits on the
+        // critical path — the report connection happens after the model
+        // is ready, so it never delays completion.
+        assert_eq!(
+            d.completion.as_micros(),
+            legacy.devices[0].completion.as_micros() + 2 * 20_000
+        );
+        assert_eq!(fresh.makespan, d.completion);
+    }
+
+    #[test]
+    fn keep_alive_amortizes_the_handshake_across_the_round() {
+        // Same outage as `outage_is_ridden_out_by_deterministic_retries`:
+        // three attempts, two dropped. Fresh-per-request redials for every
+        // attempt plus the report; keep-alive dials once and reuses the
+        // stream (the outage drops requests at the application layer, so
+        // the stream stays up).
+        let run = |mode: ClientMode| {
+            let mut sc = Scenario::new(ComputeModel::default())
+                .with_retry(RetryModel {
+                    timeout: SimDuration::from_millis_f64(30.0),
+                    max_attempts: 4,
+                })
+                .with_outage(SimDuration::ZERO, SimDuration::from_millis_f64(100.0))
+                .with_client_mode(mode);
+            sc.add_device(DeviceSpec { link: link(), strategy: prior_strategy() });
+            let r = sc.run();
+            assert_eq!(sc.run(), r, "connection-model runs must replay bit-identically");
+            r
+        };
+        let fresh = run(ClientMode::FreshPerRequest);
+        let keep = run(ClientMode::KeepAlive);
+        for r in [&fresh, &keep] {
+            let d = &r.devices[0];
+            assert_eq!(d.mode, FitMode::FreshPrior);
+            assert_eq!(d.attempts, 3);
+            assert_eq!(r.dropped_requests, 2);
+            assert_eq!(r.model_reports, 1);
+            // Handshakes never cost frame bytes: both modes ship exactly
+            // three request frames and one report frame.
+            assert_eq!(d.bytes_sent, 3 * REQUEST_BYTES + model_report_bytes(8));
+        }
+        assert_eq!(fresh.devices[0].handshakes, 4); // 3 attempts + report
+        assert_eq!(keep.devices[0].handshakes, 1); // amortized
+        // Only the winning attempt's handshake is on the critical path,
+        // and keep-alive has already paid it: exactly one round trip
+        // (2 × 20 ms) separates the two modes.
+        assert_eq!(
+            fresh.devices[0].completion.as_micros(),
+            keep.devices[0].completion.as_micros() + 2 * 20_000
+        );
+    }
+
+    #[test]
+    fn cloud_round_trip_pays_one_handshake_in_either_mode() {
+        let run = |mode: ClientMode| {
+            let mut sc = Scenario::new(ComputeModel::default()).with_client_mode(mode);
+            sc.add_device(DeviceSpec {
+                link: link(),
+                strategy: Strategy::CloudRoundTrip {
+                    samples: 100,
+                    dim: 8,
+                    iterations: 50,
+                },
+            });
+            sc.run()
+        };
+        let fresh = run(ClientMode::FreshPerRequest);
+        let keep = run(ClientMode::KeepAlive);
+        // One connection carries the whole upload → train → download
+        // round trip, so the modes agree everywhere.
+        assert_eq!(fresh, keep);
+        assert_eq!(fresh.devices[0].handshakes, 1);
+        // Raw-data upload is not the serving protocol: no report leg.
+        assert_eq!(fresh.model_reports, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "outage window requires a retry model")]
     fn outage_without_a_retry_model_is_rejected() {
         let mut sc = Scenario::new(ComputeModel::default())
@@ -1027,5 +1270,7 @@ mod tests {
         // Response frame for K=2, feature dim 4 (parameter dim 5): 10 bytes
         // of framing + 13 bytes of transfer header + 2·(1+5+15) f64s.
         assert_eq!(prior_transfer_bytes(2, 4), 10 + 13 + 8 * 2 * 21);
+        // Model report for feature dim 4: framing + task id + count + 5 f64s.
+        assert_eq!(model_report_bytes(4), 10 + 8 + 4 + 8 * 5);
     }
 }

@@ -1,11 +1,18 @@
 //! The edge-side client: bounded retries with deterministic backoff.
 //!
-//! Every request opens a fresh connection through a [`Connector`], so a
-//! retry never reuses a stream that just failed mid-frame. Only errors the
-//! taxonomy marks retryable ([`ServeError::is_retryable`]) consume retry
-//! budget; fatal errors surface immediately. Backoff is exponential with
-//! seeded jitter — two clients built with the same seed sleep the same
-//! schedule, which keeps the fault-injection tests reproducible.
+//! By default every request opens a fresh connection through a
+//! [`Connector`], so a retry never reuses a stream that just failed
+//! mid-frame. In keep-alive mode ([`PriorClient::keep_alive`]) the client
+//! holds one live stream and reuses it across requests; a stream is only
+//! kept after a cleanly framed reply, so a reuse that fails mid-frame
+//! simply costs one retry attempt and falls back to a fresh connect —
+//! reconnection is folded into the existing retry taxonomy, not a new
+//! failure mode. Reusable read/write scratch buffers make the steady-state
+//! keep-alive request allocation-free. Only errors the taxonomy marks
+//! retryable ([`ServeError::is_retryable`]) consume retry budget; fatal
+//! errors surface immediately. Backoff is exponential with seeded jitter —
+//! two clients built with the same seed sleep the same schedule, which
+//! keeps the fault-injection tests reproducible.
 
 use std::time::{Duration, Instant};
 
@@ -14,9 +21,9 @@ use rand::{Rng, SeedableRng};
 
 use dre_bayes::MixturePrior;
 
-use crate::frame::{self, HealthStatus, Message, DEFAULT_MAX_FRAME_LEN};
+use crate::frame::{self, HealthStatus, Message, MessageRef, DEFAULT_MAX_FRAME_LEN};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
-use crate::transport::Connector;
+use crate::transport::{Connector, Transport};
 use crate::{Result, ServeError};
 
 /// Bounded-retry policy with deterministic exponential backoff.
@@ -74,10 +81,19 @@ pub struct PriorClient<C: Connector> {
     jitter: StdRng,
     max_frame_len: usize,
     metrics: ServeMetrics,
+    keep_alive: bool,
+    /// The live stream in keep-alive mode; `None` after any failure, so
+    /// the next attempt reconnects fresh.
+    stream: Option<C::Transport>,
+    /// Reusable request-encode buffer.
+    write_buf: Vec<u8>,
+    /// Reusable reply-body buffer.
+    read_buf: Vec<u8>,
 }
 
 impl<C: Connector> PriorClient<C> {
-    /// A client over `connector` with the given retry policy.
+    /// A client over `connector` with the given retry policy (fresh
+    /// connection per attempt; see [`PriorClient::keep_alive`]).
     pub fn new(connector: C, policy: RetryPolicy) -> Self {
         let jitter = StdRng::seed_from_u64(policy.jitter_seed);
         PriorClient {
@@ -86,7 +102,40 @@ impl<C: Connector> PriorClient<C> {
             jitter,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             metrics: ServeMetrics::new(),
+            keep_alive: false,
+            stream: None,
+            write_buf: Vec::new(),
+            read_buf: Vec::new(),
         }
+    }
+
+    /// Enables (or disables) keep-alive mode: the client holds one live
+    /// stream and reuses it across requests, reconnecting transparently —
+    /// at the cost of one retry attempt — when a reuse fails (server
+    /// restart, per-connection request cap, dropped link). Reused requests
+    /// are counted in [`ServeMetrics::reused_connections`].
+    pub fn keep_alive(mut self, enabled: bool) -> Self {
+        self.keep_alive = enabled;
+        if !enabled {
+            self.stream = None;
+        }
+        self
+    }
+
+    /// Whether keep-alive mode is on.
+    pub fn is_keep_alive(&self) -> bool {
+        self.keep_alive
+    }
+
+    /// Whether a live keep-alive stream is currently held.
+    pub fn has_live_stream(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Drops the held keep-alive stream (if any); the next request
+    /// reconnects fresh.
+    pub fn close(&mut self) {
+        self.stream = None;
     }
 
     /// The connector, for inspection (e.g. fault counters in tests).
@@ -101,12 +150,12 @@ impl<C: Connector> PriorClient<C> {
 
     /// Liveness probe: sends `Ping`, expects `Ping` back.
     pub fn ping(&mut self) -> Result<()> {
-        self.exchange(&Message::Ping).map(drop)
+        self.exchange(&Message::Ping, None).map(drop)
     }
 
     /// Fetches the server's load and resilience gauges.
     pub fn health(&mut self) -> Result<HealthStatus> {
-        match self.exchange(&Message::Health)? {
+        match self.exchange(&Message::Health, None)? {
             Message::HealthReport(status) => Ok(status),
             other => Err(ServeError::UnexpectedMessage {
                 got: other.kind_name(),
@@ -117,8 +166,19 @@ impl<C: Connector> PriorClient<C> {
 
     /// Fetches the raw transfer payload registered for `task_id`.
     pub fn fetch_prior_payload(&mut self, task_id: u64) -> Result<Vec<u8>> {
-        match self.exchange(&Message::PriorRequest { task_id })? {
-            Message::PriorResponse { payload } => Ok(payload),
+        let mut out = Vec::new();
+        self.fetch_prior_payload_into(task_id, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fetches the raw transfer payload registered for `task_id` into a
+    /// caller-owned buffer (cleared first). With keep-alive on and a
+    /// reused `out`, the steady-state fetch makes zero heap allocations:
+    /// the request encodes into a scratch buffer, the reply body lands in
+    /// another, and the payload is copied straight into `out`.
+    pub fn fetch_prior_payload_into(&mut self, task_id: u64, out: &mut Vec<u8>) -> Result<()> {
+        match self.exchange(&Message::PriorRequest { task_id }, Some(out))? {
+            Message::PriorResponse { .. } => Ok(()),
             other => Err(ServeError::UnexpectedMessage {
                 got: other.kind_name(),
                 expected: "PriorResponse",
@@ -135,7 +195,7 @@ impl<C: Connector> PriorClient<C> {
     /// Reports a locally fitted packed model; the server acknowledges with
     /// `Ping`.
     pub fn report_model(&mut self, task_id: u64, params: Vec<f64>) -> Result<()> {
-        match self.exchange(&Message::ModelReport { task_id, params })? {
+        match self.exchange(&Message::ModelReport { task_id, params }, None)? {
             Message::Ping => Ok(()),
             other => Err(ServeError::UnexpectedMessage {
                 got: other.kind_name(),
@@ -149,8 +209,14 @@ impl<C: Connector> PriorClient<C> {
     /// `Busy` reply is retryable, and its retry-after hint (capped at the
     /// policy's `max_backoff`) raises the next sleep when it exceeds the
     /// scheduled backoff.
-    fn exchange(&mut self, request: &Message) -> Result<Message> {
-        self.metrics.requests.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    fn exchange(
+        &mut self,
+        request: &Message,
+        mut prior_out: Option<&mut Vec<u8>>,
+    ) -> Result<Message> {
+        self.metrics
+            .requests
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let started = Instant::now();
         let attempts = self.policy.max_attempts.max(1);
         let mut last: Option<ServeError> = None;
@@ -166,7 +232,7 @@ impl<C: Connector> PriorClient<C> {
                     .min(self.policy.max_backoff);
                 std::thread::sleep(self.policy.backoff(attempt, &mut self.jitter).max(hint));
             }
-            match self.attempt(request) {
+            match self.attempt(request, prior_out.as_deref_mut()) {
                 Ok(reply) => {
                     self.metrics
                         .responses_ok
@@ -199,23 +265,48 @@ impl<C: Connector> PriorClient<C> {
         })
     }
 
-    /// One attempt: fresh connection, one frame out, one frame in.
-    fn attempt(&mut self, request: &Message) -> Result<Message> {
-        let mut transport = self.connector.connect()?;
-        self.metrics
-            .connections
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let sent = frame::write_frame(&mut transport, request)?;
+    /// One attempt: one frame out, one frame in — over the held keep-alive
+    /// stream when there is one, otherwise over a fresh connection. The
+    /// stream is put back only after a cleanly framed reply; any mid-frame
+    /// failure drops it, so the next attempt reconnects. With
+    /// `prior_out`, a `PriorResponse` payload is copied straight into the
+    /// caller's buffer instead of allocating.
+    fn attempt(&mut self, request: &Message, prior_out: Option<&mut Vec<u8>>) -> Result<Message> {
+        let mut transport = match self.stream.take() {
+            Some(t) => {
+                self.metrics
+                    .reused_connections
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                t
+            }
+            None => {
+                let t = self.connector.connect()?;
+                self.metrics
+                    .connections
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                t
+            }
+        };
+        frame::encode_into(request, &mut self.write_buf);
+        transport.send(&self.write_buf)?;
         self.metrics
             .bytes_out
-            .fetch_add(sent as u64, std::sync::atomic::Ordering::Relaxed);
-        let (reply, received) = frame::read_frame(&mut transport, self.max_frame_len)?;
+            .fetch_add(self.write_buf.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        let received = frame::read_frame_into(&mut transport, self.max_frame_len, &mut self.read_buf)?;
         self.metrics
             .bytes_in
             .fetch_add(received as u64, std::sync::atomic::Ordering::Relaxed);
-        match reply {
-            Message::Error { code, detail } => Err(ServeError::Remote { code, detail }),
-            Message::Busy { retry_after_ms } => {
+        // A complete frame came back, so the stream's framing is intact —
+        // it is safe to reuse even if the body below fails to parse.
+        if self.keep_alive {
+            self.stream = Some(transport);
+        }
+        match frame::decode_body_ref(&self.read_buf[frame::LEN_PREFIX..])? {
+            MessageRef::Error { code, detail } => Err(ServeError::Remote {
+                code,
+                detail: detail.to_string(),
+            }),
+            MessageRef::Busy { retry_after_ms } => {
                 self.metrics
                     .busy
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -223,7 +314,21 @@ impl<C: Connector> PriorClient<C> {
                     retry_after: Duration::from_millis(retry_after_ms as u64),
                 })
             }
-            other => Ok(other),
+            MessageRef::PriorResponse { payload } => match prior_out {
+                Some(out) => {
+                    out.clear();
+                    out.extend_from_slice(payload);
+                    // The payload lives in the caller's buffer; the empty
+                    // placeholder allocates nothing.
+                    Ok(Message::PriorResponse {
+                        payload: Vec::new(),
+                    })
+                }
+                None => Ok(Message::PriorResponse {
+                    payload: payload.to_vec(),
+                }),
+            },
+            other => Ok(other.to_owned()),
         }
     }
 }
@@ -306,6 +411,104 @@ mod tests {
             other => panic!("expected RetriesExhausted, got {other}"),
         }
         assert_eq!(client.metrics().retries, 2);
+    }
+
+    #[test]
+    fn keep_alive_reuses_one_stream_and_allocates_nothing_per_fetch() {
+        let state = Arc::new(ServerState::new());
+        state.register_payload(9, vec![0x5A; 64]);
+        let mut client = faulty_client(
+            Arc::clone(&state),
+            FaultConfig::default(),
+            0,
+            RetryPolicy::default(),
+        )
+        .keep_alive(true);
+        assert!(client.is_keep_alive());
+
+        let mut out = Vec::new();
+        for _ in 0..5 {
+            client.fetch_prior_payload_into(9, &mut out).unwrap();
+            assert_eq!(out, vec![0x5A; 64]);
+        }
+        assert!(client.has_live_stream());
+        let m = client.metrics();
+        assert_eq!(m.connections, 1, "one connect, then pure reuse");
+        assert_eq!(m.reused_connections, 4);
+        assert_eq!(m.requests, 5);
+        assert_eq!(m.responses_ok, 5);
+        // Every hit on the server came straight from the frame cache.
+        let s = state.metrics();
+        assert_eq!(s.prior_cache_hits, 5);
+        assert_eq!(s.prior_cache_builds, 1);
+
+        // close() drops the stream; the next request reconnects.
+        client.close();
+        assert!(!client.has_live_stream());
+        client.fetch_prior_payload_into(9, &mut out).unwrap();
+        assert_eq!(client.metrics().connections, 2);
+    }
+
+    #[test]
+    fn failed_reuse_costs_one_retry_and_reconnects_fresh() {
+        let state = Arc::new(ServerState::new());
+        state.register_payload(1, vec![7; 8]);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_micros(50),
+            ..RetryPolicy::default()
+        };
+        let mut client = faulty_client(
+            Arc::clone(&state),
+            FaultConfig::default(),
+            0,
+            policy,
+        )
+        .keep_alive(true);
+
+        client.fetch_prior_payload(1).unwrap();
+        assert!(client.has_live_stream());
+
+        // Partition the link: the reused stream fails mid-exchange, is
+        // dropped, and the one retry fresh-connects into the same
+        // partition — the whole request fails, but through the ordinary
+        // retry taxonomy.
+        client.connector().partition_until(1);
+        let err = client.fetch_prior_payload(1).unwrap_err();
+        assert!(matches!(err, ServeError::RetriesExhausted { .. }));
+        assert!(
+            !client.has_live_stream(),
+            "a stream that failed mid-frame must not be reused"
+        );
+        let m = client.metrics();
+        assert_eq!(m.reused_connections, 1, "the failed reuse was attempt 1");
+        assert_eq!(m.connections, 2, "initial connect + the retry's reconnect");
+        assert_eq!(m.retries, 1);
+
+        // Heal the partition: the next request reconnects and succeeds.
+        client.connector().advance_step();
+        assert_eq!(client.fetch_prior_payload(1).unwrap(), vec![7; 8]);
+        assert!(client.has_live_stream());
+        assert_eq!(client.metrics().connections, 3);
+    }
+
+    #[test]
+    fn fresh_mode_never_holds_a_stream() {
+        let state = Arc::new(ServerState::new());
+        state.register_payload(2, vec![1]);
+        let mut client = faulty_client(
+            state,
+            FaultConfig::default(),
+            0,
+            RetryPolicy::default(),
+        );
+        for _ in 0..3 {
+            client.fetch_prior_payload(2).unwrap();
+            assert!(!client.has_live_stream());
+        }
+        let m = client.metrics();
+        assert_eq!(m.connections, 3);
+        assert_eq!(m.reused_connections, 0);
     }
 
     #[test]

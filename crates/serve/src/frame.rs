@@ -214,35 +214,31 @@ impl Message {
         }
     }
 
-    fn payload(&self) -> Vec<u8> {
+    fn write_payload(&self, out: &mut Vec<u8>) {
         match self {
-            Message::Ping => Vec::new(),
-            Message::PriorRequest { task_id } => task_id.to_le_bytes().to_vec(),
-            Message::PriorResponse { payload } => payload.clone(),
+            Message::Ping => {}
+            Message::PriorRequest { task_id } => out.extend_from_slice(&task_id.to_le_bytes()),
+            Message::PriorResponse { payload } => out.extend_from_slice(payload),
             Message::ModelReport { task_id, params } => {
-                let mut out = Vec::with_capacity(12 + 8 * params.len());
                 out.extend_from_slice(&task_id.to_le_bytes());
                 out.extend_from_slice(&(params.len() as u32).to_le_bytes());
                 for p in params {
                     out.extend_from_slice(&p.to_le_bytes());
                 }
-                out
             }
             Message::Error { code, detail } => {
-                let mut out = Vec::with_capacity(1 + detail.len());
                 out.push(*code as u8);
                 out.extend_from_slice(detail.as_bytes());
-                out
             }
-            Message::Busy { retry_after_ms } => retry_after_ms.to_le_bytes().to_vec(),
-            Message::Health => Vec::new(),
+            Message::Busy { retry_after_ms } => {
+                out.extend_from_slice(&retry_after_ms.to_le_bytes())
+            }
+            Message::Health => {}
             Message::HealthReport(h) => {
-                let mut out = Vec::with_capacity(24);
                 out.extend_from_slice(&h.queue_depth.to_le_bytes());
                 out.extend_from_slice(&h.in_flight.to_le_bytes());
                 out.extend_from_slice(&h.shed_connections.to_le_bytes());
                 out.extend_from_slice(&h.worker_panics.to_le_bytes());
-                out
             }
         }
     }
@@ -250,27 +246,177 @@ impl Message {
 
 /// Encodes a message into one complete frame.
 pub fn encode(msg: &Message) -> Vec<u8> {
-    let payload = msg.payload();
-    let body_len = BODY_HEADER + payload.len();
-    let mut out = Vec::with_capacity(LEN_PREFIX + body_len);
-    out.extend_from_slice(&(body_len as u32).to_le_bytes());
-    let ver = FRAME_VERSION;
-    let kind = msg.kind();
-    let crc = Crc32::new()
-        .update(&[ver, kind])
-        .update(&payload)
-        .finalize();
-    out.push(ver);
-    out.push(kind);
-    out.extend_from_slice(&crc.to_le_bytes());
-    out.extend_from_slice(&payload);
+    let mut out = Vec::new();
+    encode_into(msg, &mut out);
     out
+}
+
+/// Encodes a message into `out` (cleared first), reusing its capacity:
+/// once `out` has grown to the working frame size, the steady-state encode
+/// path makes no allocations. Output is byte-for-byte identical to
+/// [`encode`].
+pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&[0u8; LEN_PREFIX]);
+    out.push(FRAME_VERSION);
+    out.push(msg.kind());
+    out.extend_from_slice(&[0u8; 4]);
+    msg.write_payload(out);
+    finish_frame(out);
+}
+
+/// Frames an already-serialized [`dro_edge::transfer`] payload as a
+/// `PriorResponse` without first copying it into a [`Message`] —
+/// byte-for-byte identical to `encode(&Message::PriorResponse { .. })`.
+/// This is how the server builds its pre-encoded response cache.
+pub fn encode_prior_response(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_OVERHEAD + payload.len());
+    out.extend_from_slice(&[0u8; LEN_PREFIX]);
+    out.push(FRAME_VERSION);
+    out.push(2); // PriorResponse kind
+    out.extend_from_slice(&[0u8; 4]);
+    out.extend_from_slice(payload);
+    finish_frame(&mut out);
+    out
+}
+
+/// Back-patches the length prefix and CRC of a frame whose header fields
+/// were left zeroed by the encode helpers above.
+fn finish_frame(out: &mut [u8]) {
+    let body_len = out.len() - LEN_PREFIX;
+    let crc = Crc32::new()
+        .update(&out[LEN_PREFIX..LEN_PREFIX + 2])
+        .update(&out[FRAME_OVERHEAD..])
+        .finalize();
+    out[..LEN_PREFIX].copy_from_slice(&(body_len as u32).to_le_bytes());
+    out[LEN_PREFIX + 2..FRAME_OVERHEAD].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Packed model parameters still in wire form (little-endian `f64`s),
+/// decoded lazily — the borrowing counterpart of the `params` vector in
+/// [`Message::ModelReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamsRef<'a> {
+    raw: &'a [u8],
+}
+
+impl<'a> ParamsRef<'a> {
+    /// Number of packed parameters.
+    pub fn len(&self) -> usize {
+        self.raw.len() / 8
+    }
+
+    /// True when no parameters are carried.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Decodes the parameters in wire order.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + 'a {
+        self.raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+    }
+
+    /// Decodes all parameters into an owned vector.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.iter().collect()
+    }
+}
+
+/// Borrowing view of one decoded message: the payload-carrying variants
+/// reference the frame buffer instead of copying out of it, which is what
+/// lets the serving hot path parse requests without allocating. Produced
+/// by [`decode_ref`]/[`decode_body_ref`]; [`MessageRef::to_owned`] copies
+/// into a [`Message`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MessageRef<'a> {
+    /// See [`Message::Ping`].
+    Ping,
+    /// See [`Message::PriorRequest`].
+    PriorRequest {
+        /// Task family the device belongs to.
+        task_id: u64,
+    },
+    /// See [`Message::PriorResponse`]; the payload borrows the frame.
+    PriorResponse {
+        /// Opaque `dro_edge::transfer` payload, still in the frame buffer.
+        payload: &'a [u8],
+    },
+    /// See [`Message::ModelReport`]; parameters stay packed in the frame.
+    ModelReport {
+        /// Task family the device belongs to.
+        task_id: u64,
+        /// Packed model parameters, decoded lazily.
+        params: ParamsRef<'a>,
+    },
+    /// See [`Message::Error`]; the detail borrows the frame.
+    Error {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Human-readable detail, still in the frame buffer.
+        detail: &'a str,
+    },
+    /// See [`Message::Busy`].
+    Busy {
+        /// Suggested minimum wait before the next attempt, milliseconds.
+        retry_after_ms: u32,
+    },
+    /// See [`Message::Health`].
+    Health,
+    /// See [`Message::HealthReport`].
+    HealthReport(HealthStatus),
+}
+
+impl MessageRef<'_> {
+    /// Human-readable message-kind name, used in error reports.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            MessageRef::Ping => "Ping",
+            MessageRef::PriorRequest { .. } => "PriorRequest",
+            MessageRef::PriorResponse { .. } => "PriorResponse",
+            MessageRef::ModelReport { .. } => "ModelReport",
+            MessageRef::Error { .. } => "Error",
+            MessageRef::Busy { .. } => "Busy",
+            MessageRef::Health => "Health",
+            MessageRef::HealthReport(_) => "HealthReport",
+        }
+    }
+
+    /// Copies the borrowed view into an owned [`Message`].
+    pub fn to_owned(self) -> Message {
+        match self {
+            MessageRef::Ping => Message::Ping,
+            MessageRef::PriorRequest { task_id } => Message::PriorRequest { task_id },
+            MessageRef::PriorResponse { payload } => Message::PriorResponse {
+                payload: payload.to_vec(),
+            },
+            MessageRef::ModelReport { task_id, params } => Message::ModelReport {
+                task_id,
+                params: params.to_vec(),
+            },
+            MessageRef::Error { code, detail } => Message::Error {
+                code,
+                detail: detail.to_string(),
+            },
+            MessageRef::Busy { retry_after_ms } => Message::Busy { retry_after_ms },
+            MessageRef::Health => Message::Health,
+            MessageRef::HealthReport(h) => Message::HealthReport(h),
+        }
+    }
 }
 
 /// Decodes one complete frame from a buffer, requiring exact consumption:
 /// a length prefix that disagrees with the buffer size is an error, so a
 /// corrupted length byte can never be silently accepted.
 pub fn decode(bytes: &[u8]) -> Result<Message> {
+    decode_ref(bytes).map(MessageRef::to_owned)
+}
+
+/// Borrowing [`decode`]: identical checks and error classes, but the
+/// payload-carrying variants reference `bytes` instead of copying — this
+/// is the request-parsing path the server hot loop runs.
+pub fn decode_ref(bytes: &[u8]) -> Result<MessageRef<'_>> {
     if bytes.len() < FRAME_OVERHEAD {
         return Err(ServeError::MalformedFrame {
             reason: "buffer shorter than the fixed frame overhead",
@@ -282,12 +428,14 @@ pub fn decode(bytes: &[u8]) -> Result<Message> {
             reason: "length prefix disagrees with the frame size",
         });
     }
-    parse_body(&bytes[LEN_PREFIX..])
+    decode_body_ref(&bytes[LEN_PREFIX..])
 }
 
 /// Parses a frame body (everything after the length prefix): CRC first,
-/// then version, then grammar.
-fn parse_body(body: &[u8]) -> Result<Message> {
+/// then version, then grammar. This is the single decode grammar — the
+/// owned [`decode`] copies out of the view this returns. Pairs with
+/// [`read_frame_into`] for an allocation-free read path.
+pub fn decode_body_ref(body: &[u8]) -> Result<MessageRef<'_>> {
     if body.len() < BODY_HEADER {
         return Err(ServeError::MalformedFrame {
             reason: "frame body shorter than its fixed header",
@@ -320,7 +468,7 @@ fn parse_body(body: &[u8]) -> Result<Message> {
                     reason: "Ping carries a payload",
                 });
             }
-            Ok(Message::Ping)
+            Ok(MessageRef::Ping)
         }
         1 => {
             if payload.len() != 8 {
@@ -328,13 +476,11 @@ fn parse_body(body: &[u8]) -> Result<Message> {
                     reason: "PriorRequest payload is not exactly a u64 task id",
                 });
             }
-            Ok(Message::PriorRequest {
+            Ok(MessageRef::PriorRequest {
                 task_id: u64::from_le_bytes(payload.try_into().expect("8 bytes")),
             })
         }
-        2 => Ok(Message::PriorResponse {
-            payload: payload.to_vec(),
-        }),
+        2 => Ok(MessageRef::PriorResponse { payload }),
         3 => {
             if payload.len() < 12 {
                 return Err(ServeError::MalformedFrame {
@@ -348,11 +494,12 @@ fn parse_body(body: &[u8]) -> Result<Message> {
                     reason: "ModelReport parameter count disagrees with its length",
                 });
             }
-            let params = payload[12..]
-                .chunks_exact(8)
-                .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
-                .collect();
-            Ok(Message::ModelReport { task_id, params })
+            Ok(MessageRef::ModelReport {
+                task_id,
+                params: ParamsRef {
+                    raw: &payload[12..],
+                },
+            })
         }
         4 => {
             if payload.is_empty() {
@@ -363,12 +510,11 @@ fn parse_body(body: &[u8]) -> Result<Message> {
             let code = ErrorCode::from_u8(payload[0]).ok_or(ServeError::MalformedFrame {
                 reason: "Error payload carries an unknown code",
             })?;
-            let detail = std::str::from_utf8(&payload[1..])
-                .map_err(|_| ServeError::MalformedFrame {
+            let detail =
+                std::str::from_utf8(&payload[1..]).map_err(|_| ServeError::MalformedFrame {
                     reason: "Error detail is not valid UTF-8",
-                })?
-                .to_string();
-            Ok(Message::Error { code, detail })
+                })?;
+            Ok(MessageRef::Error { code, detail })
         }
         5 => {
             if payload.len() != 4 {
@@ -376,7 +522,7 @@ fn parse_body(body: &[u8]) -> Result<Message> {
                     reason: "Busy payload is not exactly a u32 retry hint",
                 });
             }
-            Ok(Message::Busy {
+            Ok(MessageRef::Busy {
                 retry_after_ms: u32::from_le_bytes(payload.try_into().expect("4 bytes")),
             })
         }
@@ -386,7 +532,7 @@ fn parse_body(body: &[u8]) -> Result<Message> {
                     reason: "Health carries a payload",
                 });
             }
-            Ok(Message::Health)
+            Ok(MessageRef::Health)
         }
         7 => {
             if payload.len() != 24 {
@@ -394,7 +540,7 @@ fn parse_body(body: &[u8]) -> Result<Message> {
                     reason: "HealthReport payload is not exactly 24 bytes",
                 });
             }
-            Ok(Message::HealthReport(HealthStatus {
+            Ok(MessageRef::HealthReport(HealthStatus {
                 queue_depth: u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")),
                 in_flight: u32::from_le_bytes(payload[4..8].try_into().expect("4 bytes")),
                 shed_connections: u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes")),
@@ -443,6 +589,41 @@ fn read_after_len<T: Transport + ?Sized>(
     max_len: usize,
 ) -> Result<(Message, usize)> {
     let len = u32::from_le_bytes(lenb) as usize;
+    let mut body = Vec::new();
+    let wire = read_body_into(t, len, max_len, &mut body)?;
+    let msg = decode_body_ref(&body)?.to_owned();
+    Ok((msg, wire))
+}
+
+/// Reads one whole frame from a transport into `buf` (cleared and reused):
+/// length prefix at `buf[..LEN_PREFIX]`, body at `buf[LEN_PREFIX..]`;
+/// returns the total wire size. The first read is greedy — in steady state
+/// the prefix and the whole body arrive in a single transport read (one
+/// syscall on TCP), and the read path stops allocating once `buf` has
+/// grown to the working frame size. Greedy is safe because the protocol
+/// is strictly request/response: the peer never has a second frame in
+/// flight behind the one being read (extra bytes are rejected as
+/// malformed). Callers parse with [`decode_body_ref`] on
+/// `buf[LEN_PREFIX..]`.
+pub fn read_frame_into<T: Transport + ?Sized>(
+    t: &mut T,
+    max_len: usize,
+    buf: &mut Vec<u8>,
+) -> Result<usize> {
+    let guess = buf
+        .capacity()
+        .clamp(LEN_PREFIX + BODY_HEADER, LEN_PREFIX + max_len);
+    // Grow-only: every byte up to `total` is overwritten by the reads
+    // below and the buffer is truncated to `total` before returning, so
+    // re-zeroing retained capacity would only add a memset per request.
+    if buf.len() < guess {
+        buf.resize(guess, 0);
+    }
+    let mut got = 0;
+    while got < LEN_PREFIX {
+        got += t.recv_some(&mut buf[got..])?;
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
     if len < BODY_HEADER {
         return Err(ServeError::MalformedFrame {
             reason: "declared frame body shorter than its fixed header",
@@ -451,10 +632,40 @@ fn read_after_len<T: Transport + ?Sized>(
     if len > max_len {
         return Err(ServeError::FrameTooLarge { len, max: max_len });
     }
-    let mut body = vec![0u8; len];
-    t.recv_exact(&mut body)?;
-    let msg = parse_body(&body)?;
-    Ok((msg, LEN_PREFIX + len))
+    let total = LEN_PREFIX + len;
+    if got > total {
+        return Err(ServeError::MalformedFrame {
+            reason: "peer sent bytes past the end of the frame",
+        });
+    }
+    if buf.len() < total {
+        buf.resize(total, 0);
+    }
+    while got < total {
+        got += t.recv_some(&mut buf[got..total])?;
+    }
+    buf.truncate(total);
+    Ok(total)
+}
+
+fn read_body_into<T: Transport + ?Sized>(
+    t: &mut T,
+    len: usize,
+    max_len: usize,
+    body: &mut Vec<u8>,
+) -> Result<usize> {
+    if len < BODY_HEADER {
+        return Err(ServeError::MalformedFrame {
+            reason: "declared frame body shorter than its fixed header",
+        });
+    }
+    if len > max_len {
+        return Err(ServeError::FrameTooLarge { len, max: max_len });
+    }
+    body.clear();
+    body.resize(len, 0);
+    t.recv_exact(body)?;
+    Ok(LEN_PREFIX + len)
 }
 
 #[cfg(test)]

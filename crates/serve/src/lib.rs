@@ -10,12 +10,16 @@
 //! * [`frame`] — a length-prefixed, CRC-32-checksummed wire protocol
 //!   carrying the existing [`dro_edge::transfer`] payload unchanged.
 //! * [`server`] — a threaded TCP prior server with an `RwLock`-guarded
-//!   registry of fitted priors, per-connection deadlines, and graceful
-//!   shutdown.
+//!   registry of fitted priors, a generation-stamped cache of
+//!   pre-encoded response frames (a prior hit is a lookup + write, with
+//!   no payload clone or CRC recompute), per-connection deadlines, and
+//!   graceful shutdown.
 //! * [`client`] — an edge client with bounded retries, deterministic
-//!   exponential backoff with seeded jitter, and typed errors that
+//!   exponential backoff with seeded jitter, typed errors that
 //!   distinguish retryable transport trouble from fatal protocol
-//!   disagreements ([`ServeError::is_retryable`]).
+//!   disagreements ([`ServeError::is_retryable`]), and an opt-in
+//!   keep-alive mode that reuses one live stream across requests with
+//!   zero steady-state allocations.
 //! * [`transport`] — the byte-pipe abstraction both sides run over,
 //!   including [`transport::FaultyTransport`], a deterministic test double
 //!   injecting drops, truncations, bit-flips, and delays from a seeded
@@ -52,7 +56,7 @@ pub use error::{Result, ServeError};
 pub use frame::{
     busy_frame_len, health_frame_len, health_report_frame_len, model_report_frame_len,
     ping_frame_len, prior_request_frame_len, prior_response_frame_len, ErrorCode, HealthStatus,
-    Message, DEFAULT_MAX_FRAME_LEN, FRAME_OVERHEAD, FRAME_VERSION,
+    Message, MessageRef, ParamsRef, DEFAULT_MAX_FRAME_LEN, FRAME_OVERHEAD, FRAME_VERSION,
 };
 pub use resilience::{
     BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, StalePriorCache,
@@ -60,7 +64,8 @@ pub use resilience::{
 pub use runtime::{EdgeRuntime, EdgeRuntimeConfig, RuntimeCounters, RuntimeFit};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics, LATENCY_BUCKETS};
 pub use server::{
-    InMemoryServer, PriorServer, ReportedModel, ServeConfig, ServerHandle, ServerState,
+    InMemoryServer, PriorEntry, PriorServer, ReportedModel, ResponseBytes, ServeConfig,
+    ServerHandle, ServerState, MAX_ERROR_DETAIL_BYTES,
 };
 pub use transport::{
     Connector, FaultConfig, FaultCounts, FaultInjector, FaultyConnector, FaultyTransport,

@@ -88,6 +88,15 @@ pub struct ServeMetrics {
     /// Poisoned locks recovered by inheriting the last good value (server
     /// only).
     pub lock_recoveries: AtomicU64,
+    /// `PriorRequest`s answered straight from the pre-encoded frame cache
+    /// — no payload clone, no re-encode, no CRC recompute (server only).
+    pub prior_cache_hits: AtomicU64,
+    /// Prior frames encoded into the cache at registration time (server
+    /// only) — each registry update pays the encode exactly once.
+    pub prior_cache_builds: AtomicU64,
+    /// Requests sent over an already-open keep-alive stream instead of a
+    /// fresh connection (client only).
+    pub reused_connections: AtomicU64,
     /// Per-exchange latency distribution.
     pub latency: LatencyHistogram,
 }
@@ -113,6 +122,9 @@ impl ServeMetrics {
             shed_connections: self.shed_connections.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             lock_recoveries: self.lock_recoveries.load(Ordering::Relaxed),
+            prior_cache_hits: self.prior_cache_hits.load(Ordering::Relaxed),
+            prior_cache_builds: self.prior_cache_builds.load(Ordering::Relaxed),
+            reused_connections: self.reused_connections.load(Ordering::Relaxed),
             latency_buckets: self.latency.snapshot(),
         }
     }
@@ -145,6 +157,12 @@ pub struct MetricsSnapshot {
     pub worker_panics: u64,
     /// Poisoned locks recovered.
     pub lock_recoveries: u64,
+    /// Prior requests served from the pre-encoded frame cache.
+    pub prior_cache_hits: u64,
+    /// Prior frames encoded into the cache at registration time.
+    pub prior_cache_builds: u64,
+    /// Requests sent over an already-open keep-alive stream.
+    pub reused_connections: u64,
     /// Log2-spaced latency bucket counts.
     pub latency_buckets: [u64; LATENCY_BUCKETS],
 }
@@ -157,7 +175,7 @@ impl MetricsSnapshot {
 
     /// The counter fields minus wall-clock-dependent ones — equal across
     /// two runs of the same seeded scenario, unlike the latency histogram.
-    pub fn deterministic_counters(&self) -> [u64; 12] {
+    pub fn deterministic_counters(&self) -> [u64; 15] {
         [
             self.requests,
             self.responses_ok,
@@ -171,6 +189,9 @@ impl MetricsSnapshot {
             self.shed_connections,
             self.worker_panics,
             self.lock_recoveries,
+            self.prior_cache_hits,
+            self.prior_cache_builds,
+            self.reused_connections,
         ]
     }
 }
@@ -191,6 +212,11 @@ impl fmt::Display for MetricsSnapshot {
             f,
             "busy={} shed_connections={} worker_panics={} lock_recoveries={}",
             self.busy, self.shed_connections, self.worker_panics, self.lock_recoveries
+        )?;
+        writeln!(
+            f,
+            "prior_cache_hits={} prior_cache_builds={} reused_connections={}",
+            self.prior_cache_hits, self.prior_cache_builds, self.reused_connections
         )?;
         write!(f, "latency:")?;
         let mut any = false;

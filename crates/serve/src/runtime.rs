@@ -42,6 +42,11 @@ pub struct EdgeRuntimeConfig {
     /// fresh-prior fits only — a stale or local fit is not worth feeding
     /// into the cloud's lifelong refit loop).
     pub report_models: bool,
+    /// Whether the underlying client holds one live stream across
+    /// requests ([`PriorClient::keep_alive`]). Reconnection on a failed
+    /// reuse rides the existing retry taxonomy, so breaker semantics are
+    /// unchanged either way.
+    pub keep_alive: bool,
 }
 
 impl Default for EdgeRuntimeConfig {
@@ -53,6 +58,7 @@ impl Default for EdgeRuntimeConfig {
             breaker: BreakerConfig::default(),
             stale_ttl: 8,
             report_models: true,
+            keep_alive: false,
         }
     }
 }
@@ -105,7 +111,7 @@ impl<C: Connector> EdgeRuntime<C> {
         let breaker = CircuitBreaker::new(config.breaker.clone());
         let cache = StalePriorCache::new(config.stale_ttl);
         EdgeRuntime {
-            client: PriorClient::new(connector, policy),
+            client: PriorClient::new(connector, policy).keep_alive(config.keep_alive),
             config,
             breaker,
             cache,

@@ -25,10 +25,31 @@ use std::time::{Duration, Instant};
 
 use dre_bayes::MixturePrior;
 
-use crate::frame::{self, ErrorCode, HealthStatus, Message, DEFAULT_MAX_FRAME_LEN};
+use crate::frame::{self, ErrorCode, HealthStatus, Message, MessageRef, DEFAULT_MAX_FRAME_LEN};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::transport::{Responder, TcpTransport, Transport};
 use crate::{Result, ServeError};
+
+/// Byte budget for an `Error { detail }` string on the wire — a
+/// pathological decode error can't balloon the reply frame past this.
+pub const MAX_ERROR_DETAIL_BYTES: usize = 256;
+
+/// Truncates an error detail to [`MAX_ERROR_DETAIL_BYTES`] on a char
+/// boundary, marking the cut with an ellipsis that stays inside the
+/// budget.
+fn cap_error_detail(detail: String) -> String {
+    if detail.len() <= MAX_ERROR_DETAIL_BYTES {
+        return detail;
+    }
+    let mut end = MAX_ERROR_DETAIL_BYTES - '…'.len_utf8();
+    while !detail.is_char_boundary(end) {
+        end -= 1;
+    }
+    let mut capped = detail;
+    capped.truncate(end);
+    capped.push('…');
+    capped
+}
 
 /// Tuning knobs for [`PriorServer::bind`].
 #[derive(Debug, Clone)]
@@ -79,12 +100,75 @@ pub struct ReportedModel {
     pub params: Vec<f64>,
 }
 
+/// One registered prior: the raw transfer payload plus the fully encoded
+/// `PriorResponse` frame the hot path serves, stamped with the registry
+/// generation that built it. The frame (length prefix, CRC and all) is
+/// encoded exactly once per registration; re-registering a task bumps the
+/// generation and replaces the entry wholesale, so every in-flight
+/// response keeps the frame it started with.
+#[derive(Debug, Clone)]
+pub struct PriorEntry {
+    /// The raw `dro_edge::transfer` payload.
+    pub payload: Arc<Vec<u8>>,
+    /// The complete pre-encoded `PriorResponse` frame.
+    pub frame: Arc<[u8]>,
+    /// Registry generation at encode time (monotone across all tasks).
+    pub generation: u64,
+}
+
+/// A response frame on its way out: either freshly encoded for this
+/// request, or a shared reference into the pre-encoded prior-frame cache
+/// — the cached case performs no payload clone, no re-encode, and no CRC
+/// recompute.
+#[derive(Debug, Clone)]
+pub enum ResponseBytes {
+    /// Encoded for this request.
+    Owned(Vec<u8>),
+    /// Served from the generation-stamped frame cache.
+    Cached(Arc<[u8]>),
+}
+
+impl ResponseBytes {
+    /// Whether this reply came from the pre-encoded cache.
+    pub fn is_cached(&self) -> bool {
+        matches!(self, ResponseBytes::Cached(_))
+    }
+
+    /// Moves the bytes into a plain vector (copies only the cached case).
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            ResponseBytes::Owned(v) => v,
+            ResponseBytes::Cached(a) => a.to_vec(),
+        }
+    }
+}
+
+impl std::ops::Deref for ResponseBytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            ResponseBytes::Owned(v) => v,
+            ResponseBytes::Cached(a) => a,
+        }
+    }
+}
+
+impl AsRef<[u8]> for ResponseBytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
 /// Everything the responder needs: the prior registry, collected model
 /// reports, load gauges, and server-side metrics.
 #[derive(Debug)]
 pub struct ServerState {
-    /// Pre-encoded `dro_edge::transfer` payloads keyed by task id.
-    registry: RwLock<HashMap<u64, Arc<Vec<u8>>>>,
+    /// Registered priors (payload + pre-encoded response frame) by task id.
+    registry: RwLock<HashMap<u64, PriorEntry>>,
+    /// Monotone registry generation; bumped on every registration, stamped
+    /// into the frame cache entries it builds.
+    generation: AtomicU64,
     /// Models reported by edge devices, in arrival order.
     reports: Mutex<Vec<ReportedModel>>,
     /// Server-side transfer metrics.
@@ -102,6 +186,7 @@ impl Default for ServerState {
     fn default() -> Self {
         ServerState {
             registry: RwLock::new(HashMap::new()),
+            generation: AtomicU64::new(0),
             reports: Mutex::new(Vec::new()),
             metrics: ServeMetrics::new(),
             pending: AtomicU64::new(0),
@@ -121,7 +206,7 @@ impl ServerState {
     /// mid-*write* can at worst have replaced one task's payload `Arc`
     /// (`HashMap::insert` is not observable half-done through these
     /// guards), so inheriting the map is safe and beats refusing service.
-    fn registry_read(&self) -> RwLockReadGuard<'_, HashMap<u64, Arc<Vec<u8>>>> {
+    fn registry_read(&self) -> RwLockReadGuard<'_, HashMap<u64, PriorEntry>> {
         self.registry.read().unwrap_or_else(|poisoned| {
             self.metrics.lock_recoveries.fetch_add(1, Ordering::Relaxed);
             poisoned.into_inner()
@@ -129,7 +214,7 @@ impl ServerState {
     }
 
     /// Write access to the registry with the same poison-recovery policy.
-    fn registry_write(&self) -> RwLockWriteGuard<'_, HashMap<u64, Arc<Vec<u8>>>> {
+    fn registry_write(&self) -> RwLockWriteGuard<'_, HashMap<u64, PriorEntry>> {
         self.registry.write().unwrap_or_else(|poisoned| {
             self.metrics.lock_recoveries.fetch_add(1, Ordering::Relaxed);
             poisoned.into_inner()
@@ -150,9 +235,35 @@ impl ServerState {
         self.register_payload(task_id, dro_edge::transfer::serialize_prior(prior));
     }
 
-    /// Registers a raw, already-encoded transfer payload for `task_id`.
+    /// Registers a raw, already-encoded transfer payload for `task_id`:
+    /// bumps the registry generation, encodes the complete `PriorResponse`
+    /// frame once, and installs both — every later hit is served from that
+    /// frame without re-encoding.
     pub fn register_payload(&self, task_id: u64, payload: Vec<u8>) {
-        self.registry_write().insert(task_id, Arc::new(payload));
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        // Encode outside the lock: registration pays the frame build, the
+        // serving path never does.
+        let frame: Arc<[u8]> = frame::encode_prior_response(&payload).into();
+        self.metrics.prior_cache_builds.fetch_add(1, Ordering::Relaxed);
+        self.registry_write().insert(
+            task_id,
+            PriorEntry {
+                payload: Arc::new(payload),
+                frame,
+                generation,
+            },
+        );
+    }
+
+    /// The current registry generation (0 before any registration).
+    pub fn cache_generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    /// The cached entry for `task_id`, if registered — tests use this to
+    /// prove cached frames are bit-identical to fresh encodes.
+    pub fn prior_entry(&self, task_id: u64) -> Option<PriorEntry> {
+        self.registry_read().get(&task_id).cloned()
     }
 
     /// Models reported so far, in arrival order.
@@ -195,7 +306,10 @@ impl ServerState {
                     let _guard = self.registry_write();
                     panic!("chaos hook: injected handler panic for task {task_id}");
                 }
-                let payload = self.registry_read().get(task_id).cloned();
+                let payload = self
+                    .registry_read()
+                    .get(task_id)
+                    .map(|e| Arc::clone(&e.payload));
                 match payload {
                     Some(p) => Message::PriorResponse {
                         payload: p.as_ref().clone(),
@@ -229,14 +343,45 @@ impl ServerState {
     /// Decodes one request frame, responds, and encodes the reply —
     /// updating byte counters and the latency histogram. Frame-level
     /// failures map onto protocol `Error` replies so the client always
-    /// gets an answer it can classify.
-    pub fn respond_bytes(&self, request_frame: &[u8]) -> Vec<u8> {
+    /// gets an answer it can classify. A `PriorRequest` hit is the
+    /// zero-copy hot path: a borrowing decode ([`frame::decode_ref`]), a
+    /// registry lookup, and a shared reference to the pre-encoded frame —
+    /// no payload clone, no re-encode, no CRC recompute (counted in
+    /// [`ServeMetrics::prior_cache_hits`]).
+    pub fn respond_bytes(&self, request_frame: &[u8]) -> ResponseBytes {
         let started = Instant::now();
         self.metrics
             .bytes_in
             .fetch_add(request_frame.len() as u64, Ordering::Relaxed);
-        let response = match frame::decode(request_frame) {
-            Ok(msg) => self.respond(&msg),
+        let reply = match frame::decode_ref(request_frame) {
+            Ok(MessageRef::PriorRequest { task_id }) => {
+                self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                if task_id == self.panic_on_task.load(Ordering::SeqCst) {
+                    // Poison the registry on the way down so recovery of
+                    // both the worker and the lock is exercised together.
+                    let _guard = self.registry_write();
+                    panic!("chaos hook: injected handler panic for task {task_id}");
+                }
+                let cached = self
+                    .registry_read()
+                    .get(&task_id)
+                    .map(|e| Arc::clone(&e.frame));
+                match cached {
+                    Some(frame_bytes) => {
+                        self.metrics.prior_cache_hits.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
+                        ResponseBytes::Cached(frame_bytes)
+                    }
+                    None => {
+                        self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                        ResponseBytes::Owned(frame::encode(&Message::Error {
+                            code: ErrorCode::UnknownTask,
+                            detail: format!("no prior registered for task {task_id}"),
+                        }))
+                    }
+                }
+            }
+            Ok(other) => ResponseBytes::Owned(frame::encode(&self.respond(&other.to_owned()))),
             Err(e) => {
                 self.metrics.requests.fetch_add(1, Ordering::Relaxed);
                 self.metrics.errors.fetch_add(1, Ordering::Relaxed);
@@ -245,26 +390,27 @@ impl ServerState {
                         .checksum_failures
                         .fetch_add(1, Ordering::Relaxed);
                 }
-                Message::Error {
+                ResponseBytes::Owned(frame::encode(&Message::Error {
                     code: match e {
                         ServeError::VersionMismatch { .. } => ErrorCode::Version,
                         _ => ErrorCode::Malformed,
                     },
-                    detail: e.to_string(),
-                }
+                    detail: cap_error_detail(e.to_string()),
+                }))
             }
         };
-        let bytes = frame::encode(&response);
         self.metrics
             .bytes_out
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            .fetch_add(reply.len() as u64, Ordering::Relaxed);
         self.metrics.latency.record(started.elapsed());
-        bytes
+        reply
     }
 
     /// Encodes a `Busy` reply for a request that is being shed, updating
-    /// the same counters `respond_bytes` would.
+    /// the same counters `respond_bytes` would — including the latency
+    /// histogram, so shed requests stay visible in the latency profile.
     pub fn busy_bytes(&self, request_len: usize, retry_after: Duration) -> Vec<u8> {
+        let started = Instant::now();
         self.metrics
             .bytes_in
             .fetch_add(request_len as u64, Ordering::Relaxed);
@@ -276,6 +422,7 @@ impl ServerState {
         self.metrics
             .bytes_out
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.metrics.latency.record(started.elapsed());
         bytes
     }
 }
@@ -306,7 +453,7 @@ impl InMemoryServer {
 
 impl Responder for InMemoryServer {
     fn respond(&self, request_frame: &[u8]) -> Vec<u8> {
-        self.state.respond_bytes(request_frame)
+        self.state.respond_bytes(request_frame).into_vec()
     }
 }
 
@@ -370,6 +517,9 @@ impl PriorServer {
                     break;
                 }
                 if let Ok(stream) = stream {
+                    // Replies must not wait on Nagle behind an unacked
+                    // previous reply when the connection is kept alive.
+                    let _ = stream.set_nodelay(true);
                     accept_state
                         .metrics
                         .connections
@@ -446,17 +596,49 @@ fn serve_connection(stream: TcpStream, state: &ServerState, config: &ServeConfig
         Err(_) => return,
     };
     let mut served = 0usize;
+    // One request buffer per connection, reused across requests: on a
+    // keep-alive stream the steady state reads into retained capacity, and
+    // the greedy first read grabs the whole frame in one syscall. Raw
+    // frame bytes are read here rather than via `read_frame` so that
+    // `respond_bytes` (shared with the in-memory server) is the single
+    // place where decode errors map to protocol replies.
+    let mut request: Vec<u8> = Vec::new();
+    // Bytes a greedy read grabbed past the end of the previous frame (a
+    // pipelining client); consumed before touching the socket again.
+    let mut carry: Vec<u8> = Vec::new();
     while served < config.max_requests_per_conn.max(1) {
-        // Raw frame bytes are re-read here rather than via `read_frame` so
-        // that `respond_bytes` (shared with the in-memory server) is the
-        // single place where decode errors map to protocol replies.
-        let mut lenb = [0u8; frame::LEN_PREFIX];
-        match transport.recv_exact_or_eof(&mut lenb) {
-            Ok(false) => return, // clean hangup between requests
-            Ok(true) => {}
-            Err(_) => return,
+        let mut got = carry.len();
+        if request.len() < got {
+            request.resize(got, 0);
         }
-        let len = u32::from_le_bytes(lenb) as usize;
+        request[..got].copy_from_slice(&carry);
+        carry.clear();
+        let guess = request
+            .capacity()
+            .clamp(
+                frame::LEN_PREFIX + frame::BODY_HEADER,
+                frame::LEN_PREFIX + config.max_frame_len,
+            )
+            .max(got);
+        // Grow-only: every byte up to the frame's end is overwritten by
+        // the reads below, and the buffer is truncated before use.
+        if request.len() < guess {
+            request.resize(guess, 0);
+        }
+        if got == 0 {
+            match transport.recv_some_or_eof(&mut request[..]) {
+                Ok(0) => return, // clean hangup between requests
+                Ok(n) => got = n,
+                Err(_) => return,
+            }
+        }
+        while got < frame::LEN_PREFIX {
+            match transport.recv_some(&mut request[got..]) {
+                Ok(n) => got += n,
+                Err(_) => return,
+            }
+        }
+        let len = u32::from_le_bytes([request[0], request[1], request[2], request[3]]) as usize;
         if len > config.max_frame_len {
             let reply = frame::encode(&Message::Error {
                 code: ErrorCode::Malformed,
@@ -468,11 +650,21 @@ fn serve_connection(stream: TcpStream, state: &ServerState, config: &ServeConfig
             let _ = transport.send(&reply);
             return;
         }
-        let mut request = vec![0u8; frame::LEN_PREFIX + len];
-        request[..frame::LEN_PREFIX].copy_from_slice(&lenb);
-        if transport.recv_exact(&mut request[frame::LEN_PREFIX..]).is_err() {
-            return;
+        let total = frame::LEN_PREFIX + len;
+        if got > total {
+            carry.extend_from_slice(&request[total..got]);
+        } else {
+            if request.len() < total {
+                request.resize(total, 0);
+            }
+            while got < total {
+                match transport.recv_some(&mut request[got..total]) {
+                    Ok(n) => got += n,
+                    Err(_) => return,
+                }
+            }
         }
+        request.truncate(total);
         // Global in-flight cap: requests beyond it are shed with `Busy`
         // rather than queued behind the worker pool. The decrement lives in
         // a drop guard so the gauge survives a panicking handler.
@@ -485,7 +677,7 @@ fn serve_connection(stream: TcpStream, state: &ServerState, config: &ServeConfig
         let in_flight = state.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         let _gauge = InFlight(&state.in_flight);
         let reply = if in_flight as usize > config.max_in_flight.max(1) {
-            state.busy_bytes(request.len(), config.busy_retry_after)
+            ResponseBytes::Owned(state.busy_bytes(request.len(), config.busy_retry_after))
         } else {
             state.respond_bytes(&request)
         };
@@ -691,6 +883,64 @@ mod tests {
         assert_eq!(m.requests, 1);
         assert_eq!(m.bytes_in, 10);
         assert_eq!(m.bytes_out, reply.len() as u64);
+        // Shed requests land in the latency histogram like any other.
+        assert_eq!(m.latency_count(), 1);
+    }
+
+    #[test]
+    fn error_detail_is_capped_on_a_char_boundary() {
+        // Under budget: untouched.
+        let short = "x".repeat(MAX_ERROR_DETAIL_BYTES);
+        assert_eq!(cap_error_detail(short.clone()), short);
+        // Over budget: truncated to the budget, ellipsis included.
+        let long = "x".repeat(MAX_ERROR_DETAIL_BYTES + 100);
+        let capped = cap_error_detail(long);
+        assert_eq!(capped.len(), MAX_ERROR_DETAIL_BYTES);
+        assert!(capped.ends_with('…'));
+        // Multi-byte chars never get split: 'é' is 2 bytes, so the byte
+        // budget lands mid-char and the cut backs up to a boundary.
+        let multi = "é".repeat(MAX_ERROR_DETAIL_BYTES);
+        let capped = cap_error_detail(multi);
+        assert!(capped.len() <= MAX_ERROR_DETAIL_BYTES);
+        assert!(capped.ends_with('…'));
+        assert!(String::from_utf8(capped.into_bytes()).is_ok());
+    }
+
+    #[test]
+    fn prior_hits_serve_the_cached_frame() {
+        let state = ServerState::new();
+        state.register_payload(7, vec![1, 2, 3]);
+        assert_eq!(state.cache_generation(), 1);
+        assert_eq!(state.metrics().prior_cache_builds, 1);
+
+        let request = frame::encode(&Message::PriorRequest { task_id: 7 });
+        let reply = state.respond_bytes(&request);
+        assert!(reply.is_cached(), "prior hit must come from the cache");
+        // The cached frame is bit-identical to a fresh encode.
+        assert_eq!(
+            &reply[..],
+            &frame::encode(&Message::PriorResponse {
+                payload: vec![1, 2, 3]
+            })[..]
+        );
+        let m = state.metrics();
+        assert_eq!(m.prior_cache_hits, 1);
+        assert_eq!(m.responses_ok, 1);
+
+        // Re-registering bumps the generation and swaps the frame.
+        state.register_payload(7, vec![9, 9]);
+        assert_eq!(state.cache_generation(), 2);
+        let entry = state.prior_entry(7).unwrap();
+        assert_eq!(entry.generation, 2);
+        assert_eq!(
+            &entry.frame[..],
+            &frame::encode(&Message::PriorResponse {
+                payload: vec![9, 9]
+            })[..]
+        );
+        // A miss is an owned Error frame, not a cache entry.
+        let miss = state.respond_bytes(&frame::encode(&Message::PriorRequest { task_id: 404 }));
+        assert!(!miss.is_cached());
     }
 
     #[test]

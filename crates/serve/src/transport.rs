@@ -28,6 +28,25 @@ pub trait Transport {
     /// Like [`Transport::recv_exact`], but a clean end-of-stream before the
     /// first byte returns `Ok(false)` instead of an error.
     fn recv_exact_or_eof(&mut self, buf: &mut [u8]) -> Result<bool>;
+
+    /// Reads *at least one* byte into `buf` in a single transport
+    /// operation, returning how many landed — the greedy primitive behind
+    /// the one-read-per-frame hot path ([`crate::frame::read_frame_into`]).
+    /// The default implementation fills `buf` exactly.
+    fn recv_some(&mut self, buf: &mut [u8]) -> Result<usize> {
+        self.recv_exact(buf)?;
+        Ok(buf.len())
+    }
+
+    /// Like [`Transport::recv_some`], but a peer that closed cleanly
+    /// before sending anything yields `Ok(0)` instead of an error.
+    fn recv_some_or_eof(&mut self, buf: &mut [u8]) -> Result<usize> {
+        if self.recv_exact_or_eof(buf)? {
+            Ok(buf.len())
+        } else {
+            Ok(0)
+        }
+    }
 }
 
 /// Opens a fresh [`Transport`] per request attempt — a TCP connection in
@@ -91,6 +110,26 @@ impl Transport for TcpTransport {
 
     fn recv_exact_or_eof(&mut self, buf: &mut [u8]) -> Result<bool> {
         read_fully(&mut self.stream, buf, true)
+    }
+
+    fn recv_some(&mut self, buf: &mut [u8]) -> Result<usize> {
+        match self.recv_some_or_eof(buf)? {
+            0 => Err(ServeError::ShortRead {
+                expected: buf.len(),
+                got: 0,
+            }),
+            n => Ok(n),
+        }
+    }
+
+    fn recv_some_or_eof(&mut self, buf: &mut [u8]) -> Result<usize> {
+        loop {
+            match self.stream.read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(source) => return Err(ServeError::Io { op: "read", source }),
+            }
+        }
     }
 }
 
@@ -158,6 +197,11 @@ impl Connector for TcpConnector {
                 source,
             },
         )?;
+        // Request/response over a persistent stream is the worst case for
+        // Nagle + delayed-ACK: the next small request frame would sit
+        // queued behind the unacked previous response. Best-effort — a
+        // stack that refuses the option just keeps the default latency.
+        let _ = stream.set_nodelay(true);
         TcpTransport::with_deadlines(stream, self.read_timeout, self.write_timeout)
     }
 }
@@ -353,6 +397,23 @@ impl<R: Responder> Transport for FaultyTransport<R> {
             return Ok(false);
         }
         self.recv_exact(buf).map(|_| true)
+    }
+
+    fn recv_some(&mut self, buf: &mut [u8]) -> Result<usize> {
+        match self.recv_some_or_eof(buf)? {
+            0 => Err(ServeError::ShortRead {
+                expected: buf.len(),
+                got: 0,
+            }),
+            n => Ok(n),
+        }
+    }
+
+    fn recv_some_or_eof(&mut self, buf: &mut [u8]) -> Result<usize> {
+        let n = (self.inbox.len() - self.read_pos).min(buf.len());
+        buf[..n].copy_from_slice(&self.inbox[self.read_pos..self.read_pos + n]);
+        self.read_pos += n;
+        Ok(n)
     }
 }
 

@@ -1,0 +1,103 @@
+//! Property test: the server's pre-encoded response cache is honest.
+//!
+//! The zero-copy hot path serves `PriorResponse` frames that were encoded
+//! once at `register_*` time, so this suite proves — over the same (k, d)
+//! grid the corruption tests use — that a cached frame is byte-identical
+//! to a fresh `frame::encode` of the same payload, that the direct
+//! `encode_prior_response` framing matches the generic encoder, and that
+//! the borrowing decode path (`decode_ref`) agrees with the owned one.
+
+use std::sync::Arc;
+
+use dre_bayes::MixturePrior;
+use dre_linalg::Matrix;
+use dre_serve::frame::{self, Message, MessageRef};
+use dre_serve::ServerState;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A valid random prior: positive weights, bounded means, SPD covariances.
+fn random_prior(k: usize, d: usize, seed: u64) -> MixturePrior {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let components = (0..k)
+        .map(|_| {
+            let weight = rng.gen_range(0.1..1.0);
+            let mean: Vec<f64> = (0..d).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let mut cov = Matrix::identity(d);
+            cov.add_diag(rng.gen_range(0.1..3.0));
+            (weight, mean, cov)
+        })
+        .collect();
+    MixturePrior::new(components).expect("construction above is always valid")
+}
+
+#[test]
+fn cached_frames_are_byte_identical_to_fresh_encodes() {
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    // Same (k, d) grid as tests/frame_corruption.rs.
+    let cases = (1usize..4, 1usize..6, 0u64..1_000_000);
+    runner
+        .run(&cases, |(k, d, seed)| {
+            let prior = random_prior(k, d, seed);
+            let payload = dro_edge::transfer::serialize_prior(&prior);
+
+            // Register through the real server path; the cache builds the
+            // frame once, at registration time.
+            let state = Arc::new(ServerState::new());
+            state.register_prior(42, &prior);
+            let entry = state.prior_entry(42).expect("registered task is cached");
+
+            // The cached frame matches a fresh encode, bit for bit.
+            let fresh = frame::encode(&Message::PriorResponse {
+                payload: payload.clone(),
+            });
+            prop_assert_eq!(&entry.frame[..], &fresh[..]);
+            prop_assert_eq!(&entry.payload[..], &payload[..]);
+            prop_assert_eq!(fresh.len(), frame::prior_response_frame_len(k, d));
+
+            // The direct framing helper agrees with the generic encoder.
+            prop_assert_eq!(&frame::encode_prior_response(&payload)[..], &fresh[..]);
+
+            // What respond_bytes hands the worker loop is that same frame.
+            let request = frame::encode(&Message::PriorRequest { task_id: 42 });
+            let reply = state.respond_bytes(&request);
+            prop_assert!(reply.is_cached());
+            prop_assert_eq!(&reply[..], &fresh[..]);
+
+            // Borrowing and owned decodes agree on the cached bytes.
+            match frame::decode_ref(&entry.frame).expect("cached frame decodes") {
+                MessageRef::PriorResponse { payload: slice } => {
+                    prop_assert_eq!(slice, &payload[..]);
+                }
+                other => {
+                    return Err(proptest::test_runner::TestCaseError::fail(format!(
+                        "cached frame decoded as {}",
+                        other.kind_name()
+                    )))
+                }
+            }
+            let owned = frame::decode(&entry.frame).expect("cached frame decodes");
+            prop_assert_eq!(owned, Message::PriorResponse { payload });
+            Ok(())
+        })
+        .unwrap();
+}
+
+#[test]
+fn reregistration_bumps_the_generation_and_swaps_the_frame() {
+    let state = ServerState::new();
+    let a = random_prior(2, 3, 1);
+    let b = random_prior(3, 4, 2);
+    state.register_prior(7, &a);
+    let first = state.prior_entry(7).unwrap();
+    assert_eq!(first.generation, state.cache_generation());
+    state.register_prior(7, &b);
+    let second = state.prior_entry(7).unwrap();
+    assert!(second.generation > first.generation);
+    assert_ne!(&second.frame[..], &first.frame[..]);
+    assert_eq!(
+        &second.frame[..],
+        &frame::encode_prior_response(&dro_edge::transfer::serialize_prior(&b))[..]
+    );
+}

@@ -8,8 +8,8 @@
 
 use dre_data::{TaskFamily, TaskFamilyConfig};
 use dre_edgesim::{
-    prior_transfer_bytes, ComputeModel, DeviceSpec, Link, RetryModel, Scenario, SimDuration,
-    Strategy,
+    model_report_bytes, prior_transfer_bytes, ClientMode, ComputeModel, DeviceSpec, Link,
+    RetryModel, Scenario, SimDuration, Strategy,
 };
 use dre_models::metrics;
 use dre_prob::seeded_rng;
@@ -138,6 +138,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\na 4-attempt budget waits out the outage and still lands the prior;\n\
          a 2-attempt budget exhausts inside the window and every device\n\
          degrades to local-only ERM — it finishes, just without transfer."
+    );
+
+    // ── Connection model: what does keep-alive buy the same fleet? ─────
+    // The serving layer's keep-alive PriorClient holds one stream per
+    // device round. Turning on the simulator's connection model charges
+    // every fresh connection a handshake round trip (time only) and adds
+    // the framed ModelReport telemetry leg — so under an outage's
+    // retries, fresh-per-request redials per message while keep-alive
+    // pays a single handshake for the whole round. The deadline is sized
+    // for the handshake-inflated response time, per the RetryModel
+    // docs — too short and redials race the in-flight response.
+    println!(
+        "\n-- 200 ms outage, connection model on (report frame = {} B) --",
+        model_report_bytes(dim)
+    );
+    let modeled = |mode: ClientMode| {
+        let mut sc = Scenario::new(ComputeModel::default())
+            .with_retry(RetryModel {
+                timeout: SimDuration::from_millis_f64(180.0),
+                max_attempts: 4,
+            })
+            .with_outage(
+                SimDuration::from_millis_f64(0.0),
+                SimDuration::from_millis_f64(200.0),
+            )
+            .with_client_mode(mode);
+        for _ in 0..fleet {
+            sc.add_device(DeviceSpec { link, strategy });
+        }
+        sc.run()
+    };
+    println!(
+        "{:<18} {:>10} {:>10} {:>10} {:>14}",
+        "client mode", "handshakes", "attempts", "total KB", "makespan (ms)"
+    );
+    for (name, mode) in [
+        ("fresh-per-request", ClientMode::FreshPerRequest),
+        ("keep-alive", ClientMode::KeepAlive),
+    ] {
+        let report = modeled(mode);
+        let d = &report.devices[0];
+        println!(
+            "{name:<18} {:>10} {:>10} {:>10.1} {:>14.1}",
+            d.handshakes,
+            d.attempts,
+            report.total_bytes as f64 / 1024.0,
+            report.makespan.as_secs_f64() * 1e3,
+        );
+    }
+    println!(
+        "\nbyte counts match — handshakes cost time, not frames — but the\n\
+         keep-alive fleet finishes a full round trip earlier per redial\n\
+         avoided: the simulator's view of the zero-copy serving hot path."
     );
     Ok(())
 }

@@ -124,6 +124,7 @@ fn runtime_config() -> EdgeRuntimeConfig {
         },
         stale_ttl: 2,
         report_models: true,
+        keep_alive: false,
     }
 }
 
@@ -157,7 +158,7 @@ struct FleetOutcome {
     /// Per-device runtime counters.
     counters: Vec<dre_serve::RuntimeCounters>,
     /// Per-device client-side deterministic transfer counters.
-    client_counters: Vec<[u64; 12]>,
+    client_counters: Vec<[u64; 15]>,
     /// Per-device injected-fault counts.
     fault_counts: Vec<dre_serve::FaultCounts>,
     /// Mean held-out accuracy over devices, per round.

@@ -123,6 +123,158 @@ fn loopback_fleet_fetches_priors_and_fits_concurrently() {
 }
 
 #[test]
+fn keepalive_fleet_reuses_one_connection_per_device_and_hits_the_frame_cache() {
+    let (cloud, _) = fitted_cloud();
+    let prior = cloud.prior().clone();
+
+    let mut server = PriorServer::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    server.register_prior(TASK_ID, &prior);
+    let addr = server.addr();
+
+    const CLIENTS: usize = 5;
+    const REQUESTS: u64 = 3; // ping + fetch + report
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client =
+                    PriorClient::new(TcpConnector::new(addr), RetryPolicy::default())
+                        .keep_alive(true);
+                client.ping().expect("server must answer pings");
+                let fetched = client.fetch_prior(TASK_ID).expect("prior fetch");
+                client
+                    .report_model(TASK_ID, vec![i as f64; fetched.dim()])
+                    .expect("report");
+                assert!(client.has_live_stream(), "stream must survive the round");
+                client.metrics()
+            })
+        })
+        .collect();
+
+    let mut total_client_bytes_out = 0;
+    let mut total_client_bytes_in = 0;
+    for h in handles {
+        let metrics = h.join().expect("client thread");
+        // The whole round rides one connection: connect once, reuse twice.
+        assert_eq!(metrics.connections, 1);
+        assert_eq!(metrics.reused_connections, REQUESTS - 1);
+        assert_eq!(metrics.requests, REQUESTS);
+        assert_eq!(metrics.responses_ok, REQUESTS);
+        assert_eq!(metrics.errors, 0);
+        total_client_bytes_out += metrics.bytes_out;
+        total_client_bytes_in += metrics.bytes_in;
+    }
+
+    // Byte accounting stays exact under reuse, and every prior fetch was
+    // served from the pre-encoded frame cache — no per-request encode.
+    let m = server.metrics();
+    assert_eq!(m.requests, REQUESTS * CLIENTS as u64);
+    assert_eq!(m.responses_ok, REQUESTS * CLIENTS as u64);
+    assert_eq!(m.bytes_in, total_client_bytes_out);
+    assert_eq!(m.bytes_out, total_client_bytes_in);
+    assert_eq!(m.prior_cache_hits, CLIENTS as u64);
+    assert_eq!(m.prior_cache_builds, 1);
+    assert_eq!(m.latency_count(), REQUESTS * CLIENTS as u64);
+    // One TCP connection per device, not one per request.
+    assert_eq!(m.connections, CLIENTS as u64);
+
+    server.shutdown();
+}
+
+#[test]
+fn keepalive_stream_survives_server_kill_and_restart_via_retry() {
+    let (cloud, family) = fitted_cloud();
+    let prior = cloud.prior().clone();
+    let payload = dro_edge::transfer::serialize_prior(&prior);
+    let serve_config = ServeConfig {
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+        ..ServeConfig::default()
+    };
+
+    let mut server = PriorServer::bind("127.0.0.1:0", serve_config.clone()).unwrap();
+    server.state().register_payload(TASK_ID, payload.clone());
+    let addr = server.addr();
+
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        jitter_seed: 5,
+    };
+    let mut client = PriorClient::new(TcpConnector::new(addr), policy.clone()).keep_alive(true);
+    assert_eq!(client.fetch_prior_payload(TASK_ID).unwrap(), payload);
+    assert_eq!(client.fetch_prior_payload(TASK_ID).unwrap(), payload);
+    assert!(client.has_live_stream());
+
+    // A runtime device shares the link mode; its breaker is Closed after a
+    // healthy fresh-prior fit.
+    let mut runtime = dre_serve::EdgeRuntime::new(
+        TcpConnector::new(addr),
+        policy.clone(),
+        dre_serve::EdgeRuntimeConfig {
+            task_id: TASK_ID,
+            learner: small_learner_config(),
+            keep_alive: true,
+            ..dre_serve::EdgeRuntimeConfig::default()
+        },
+    );
+    let mut rng = seeded_rng(31);
+    let train = family.sample_task(&mut rng).generate(25, &mut rng);
+    let fit = runtime.fit_step(&train).unwrap();
+    assert_eq!(fit.mode, dro_edge::FitMode::FreshPrior);
+
+    // Kill the server, then restart it on the same port.
+    server.shutdown();
+    drop(server);
+    let mut restarted = None;
+    for _ in 0..100 {
+        match PriorServer::bind(&addr.to_string(), serve_config.clone()) {
+            Ok(s) => {
+                restarted = Some(s);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let mut restarted = restarted.expect("could not rebind the server port");
+    restarted.state().register_payload(TASK_ID, payload.clone());
+
+    // The held stream is dead. Reusing it fails mid-frame, the failure is
+    // retryable, and the retry's fresh connect reaches the new server —
+    // the fetch still succeeds.
+    let before = client.metrics();
+    assert_eq!(client.fetch_prior_payload(TASK_ID).unwrap(), payload);
+    let after = client.metrics();
+    assert!(after.retries > before.retries, "reconnect must cost a retry");
+    assert_eq!(
+        after.connections,
+        before.connections + 1,
+        "exactly one fresh connect"
+    );
+    assert!(client.has_live_stream(), "the new stream is held again");
+    // And the fresh stream is reused from then on.
+    assert_eq!(client.fetch_prior_payload(TASK_ID).unwrap(), payload);
+    assert_eq!(client.metrics().connections, after.connections);
+
+    // The runtime device recovers the same way: a fresh-prior fit through
+    // the retry, with breaker counters consistent — reconnection is a
+    // retry, not an outage, so the breaker never opens.
+    let fit = runtime.fit_step(&train).unwrap();
+    assert_eq!(fit.mode, dro_edge::FitMode::FreshPrior);
+    assert_eq!(
+        runtime.breaker().state(),
+        dre_serve::BreakerState::Closed,
+        "a reconnect absorbed by the retry budget must not trip the breaker"
+    );
+    assert_eq!(runtime.breaker().opens(), 0);
+    assert_eq!(runtime.counters().fetch_failures, 0);
+    assert_eq!(runtime.counters().short_circuits, 0);
+    assert!(runtime.client().metrics().reused_connections >= 1);
+
+    restarted.shutdown();
+}
+
+#[test]
 fn faulty_transport_recovers_within_the_retry_budget() {
     let (cloud, _) = fitted_cloud();
     let prior = cloud.prior().clone();

@@ -4,7 +4,8 @@
 
 use dre_data::{TaskFamily, TaskFamilyConfig};
 use dre_edgesim::{
-    prior_transfer_bytes, ComputeModel, DeviceSpec, Link, Scenario, Strategy, REQUEST_BYTES,
+    model_report_bytes, prior_transfer_bytes, ClientMode, ComputeModel, DeviceSpec, Link,
+    RetryModel, Scenario, SimDuration, Strategy, REQUEST_BYTES,
 };
 use dre_prob::seeded_rng;
 use dro_edge::CloudKnowledge;
@@ -176,4 +177,62 @@ fn simulator_bytes_match_the_real_wire_frames() {
     let report = sc.run();
     assert_eq!(report.devices[0].bytes_sent, request.len() as u64);
     assert_eq!(report.devices[0].bytes_received, response.len() as u64);
+}
+
+#[test]
+fn keep_alive_client_mode_amortizes_handshakes_at_real_frame_sizes() {
+    let (cloud_knowledge, dim) = fitted_cloud();
+    let prior_components = cloud_knowledge.prior().num_components();
+
+    // The simulator's report-leg bytes must equal the real framed
+    // `ModelReport` for a packed `[w…, b]` model of this dimension.
+    let report_frame = dre_serve::frame::encode(&dre_serve::Message::ModelReport {
+        task_id: 0,
+        params: vec![0.0; dim + 1],
+    });
+    assert_eq!(report_frame.len() as u64, model_report_bytes(dim));
+
+    // An outage forces three request attempts; the connection model then
+    // separates the client modes: fresh-per-request redials per message,
+    // keep-alive dials once — the amortization the real keep-alive
+    // `PriorClient` buys.
+    let run = |mode: ClientMode| {
+        let mut sc = Scenario::new(ComputeModel::default())
+            .with_retry(RetryModel {
+                timeout: SimDuration::from_millis_f64(100.0),
+                max_attempts: 4,
+            })
+            .with_outage(SimDuration::ZERO, SimDuration::from_millis_f64(250.0))
+            .with_client_mode(mode);
+        sc.add_device(DeviceSpec {
+            link: Link::new_ms(30.0, 125_000.0),
+            strategy: Strategy::PriorTransfer {
+                samples: 100,
+                dim,
+                iterations: 50,
+                em_rounds: 5,
+                prior_components,
+            },
+        });
+        sc.run()
+    };
+    let fresh = run(ClientMode::FreshPerRequest);
+    let keep = run(ClientMode::KeepAlive);
+    for r in [&fresh, &keep] {
+        let d = &r.devices[0];
+        assert_eq!(d.attempts, 3, "attempts 1–2 fall inside the outage window");
+        assert_eq!(r.model_reports, 1);
+        // Handshakes cost time, never bytes: both modes ship exactly
+        // three real request frames and one real report frame.
+        assert_eq!(d.bytes_sent, 3 * REQUEST_BYTES + model_report_bytes(dim));
+        assert_eq!(d.bytes_received, prior_transfer_bytes(prior_components, dim));
+    }
+    assert_eq!(fresh.devices[0].handshakes, 4);
+    assert_eq!(keep.devices[0].handshakes, 1);
+    // Keep-alive's amortized handshake takes one round trip (2 × 30 ms)
+    // off the critical path.
+    assert_eq!(
+        fresh.devices[0].completion.as_micros(),
+        keep.devices[0].completion.as_micros() + 2 * 30_000
+    );
 }
