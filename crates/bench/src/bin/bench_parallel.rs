@@ -84,6 +84,11 @@ struct KernelReport {
     name: String,
     diff: f64,
     tolerance: f64,
+    /// Whether this kernel's headline number is a thread-scaling claim.
+    /// Outside `--smoke`, running any such kernel with a single worker
+    /// thread fails the run: a `"threads": 1` report would record
+    /// meaningless ~1× speedups as if they were measurements.
+    expects_parallelism: bool,
 }
 
 fn kernel_entry(name: &str, serial_ms: f64, parallel_ms: f64, diff: f64, tol: f64) -> KernelReport {
@@ -99,6 +104,7 @@ fn kernel_entry(name: &str, serial_ms: f64, parallel_ms: f64, diff: f64, tol: f6
         name: name.to_string(),
         diff,
         tolerance: tol,
+        expects_parallelism: true,
     }
 }
 
@@ -247,6 +253,7 @@ fn main() {
         name: name.clone(),
         diff,
         tolerance: 1e-6,
+        expects_parallelism: false,
     });
     println!(
         "{name}: recompute {exact_ms:.2} ms, cached {cached_ms:.2} ms \
@@ -308,6 +315,7 @@ fn main() {
         name: name.clone(),
         diff,
         tolerance: 1e-8,
+        expects_parallelism: false,
     });
     println!(
         "{name}: refactorize {refac_ms:.2} ms, rank-1 {rank1_ms:.2} ms ({:.2}x), diff {diff:e}",
@@ -461,6 +469,7 @@ fn main() {
         name: name.clone(),
         diff,
         tolerance: 0.0,
+        expects_parallelism: true,
     });
     println!(
         "{name}: 1 client {one_ms:.2} ms ({rps_one:.0} req/s), {client_threads} clients \
@@ -555,6 +564,7 @@ fn main() {
         name: name.clone(),
         diff,
         tolerance: 0.0,
+        expects_parallelism: false,
     });
     println!(
         "{name}: fresh-connect {fresh_ms:.2} ms ({rps_fresh:.0} req/s), keep-alive \
@@ -562,6 +572,148 @@ fn main() {
          uncached {uncached}, frame mismatches {frame_mismatch}",
         fresh_ms / keepalive_ms
     );
+
+    // -- per-core server runtime --------------------------------------------
+    // The same keep-alive client fleet against two servers: one event-loop
+    // worker (the PR 5 single-path behaviour, where every stream funnels
+    // through one core) vs the per-core polled runtime with one worker per
+    // core — plus a fresh-connect-per-request run against the per-core
+    // server as the unamortized baseline. The headline `speedup` is
+    // aggregate per-core req/s over the single-worker req/s. The diff
+    // counts (a) payloads that arrived byte-different from the registered
+    // one on either server, (b) prior responses NOT served from the
+    // pre-encoded cache, and (c) any byte mismatch between each server's
+    // cached frame and a fresh `frame::encode` — zero tolerance: scaling
+    // must not cost a single corrupted or uncached byte. On hosts with
+    // ≥ 4 cores the full (non-smoke) run additionally gates on ≥ 3×.
+    let hw_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mc_workers = dre_parallel::max_threads().clamp(4, 8);
+    let mc_clients = mc_workers * 2;
+    let mc_requests = if smoke { 128 } else { 4096 };
+    let run_against =
+        |addr: std::net::SocketAddr, keep_alive: bool, requests: usize| -> usize {
+            let per = requests / mc_clients;
+            let handles: Vec<_> = (0..mc_clients)
+                .map(|_| {
+                    let expected = std::sync::Arc::clone(&expected);
+                    std::thread::spawn(move || {
+                        let mut client =
+                            PriorClient::new(TcpConnector::new(addr), RetryPolicy::default())
+                                .keep_alive(keep_alive);
+                        let mut corrupted = 0usize;
+                        let mut payload = Vec::new();
+                        for _ in 0..per {
+                            client
+                                .fetch_prior_payload_into(1, &mut payload)
+                                .expect("loopback fetch");
+                            if payload.as_slice() != expected.as_slice() {
+                                corrupted += 1;
+                            }
+                        }
+                        corrupted
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .sum()
+        };
+    let fresh_encode = dre_serve::frame::encode(&dre_serve::frame::Message::PriorResponse {
+        payload: (*expected).clone(),
+    });
+    let mut mc_bad = 0usize;
+    let mut audit_server = |server: &dre_serve::ServerHandle| {
+        let m = server.metrics();
+        mc_bad += m.responses_ok.saturating_sub(m.prior_cache_hits) as usize;
+        let cached = server.state().prior_entry(1).expect("prior cached").frame;
+        mc_bad += usize::from(cached[..] != fresh_encode[..]);
+    };
+
+    let mut single = PriorServer::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    single.register_prior(1, &prior);
+    let (single_ms, bad_single) = time_best(3, || run_against(single.addr(), true, mc_requests));
+    audit_server(&single);
+    single.shutdown();
+
+    let mut percore = PriorServer::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: mc_workers,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    percore.register_prior(1, &prior);
+    let (mc_fresh_ms, bad_mc_fresh) =
+        time_best(3, || run_against(percore.addr(), false, mc_requests));
+    let (percore_ms, bad_percore) = time_best(3, || run_against(percore.addr(), true, mc_requests));
+    audit_server(&percore);
+    percore.shutdown();
+
+    mc_bad += bad_single + bad_mc_fresh + bad_percore;
+    let diff = mc_bad as f64;
+    let rps_single = mc_requests as f64 / (single_ms / 1e3);
+    let rps_mc_fresh = mc_requests as f64 / (mc_fresh_ms / 1e3);
+    let rps_percore = mc_requests as f64 / (percore_ms / 1e3);
+    let mc_speedup = single_ms / percore_ms;
+    let name = "serve_loopback_rps_multicore".to_string();
+    kernels.push(KernelReport {
+        json: JsonValue::object([
+            ("name", JsonValue::from(name.as_str())),
+            ("fresh_ms", JsonValue::from(mc_fresh_ms)),
+            ("single_worker_ms", JsonValue::from(single_ms)),
+            ("percore_ms", JsonValue::from(percore_ms)),
+            ("speedup", JsonValue::from(mc_speedup)),
+            ("requests", JsonValue::from(mc_requests)),
+            ("clients", JsonValue::from(mc_clients)),
+            // Provenance: `threads` is the server worker threads the
+            // per-core run actually spawned; `hw_threads` is what the
+            // host could truly run at once. A report with hw_threads <
+            // threads is timesharing, not scaling.
+            ("threads", JsonValue::from(mc_workers)),
+            ("hw_threads", JsonValue::from(hw_threads)),
+            ("rps_fresh", JsonValue::from(rps_mc_fresh)),
+            ("rps_single_worker", JsonValue::from(rps_single)),
+            ("rps_percore", JsonValue::from(rps_percore)),
+            ("max_abs_diff", JsonValue::from(diff)),
+            ("tolerance", JsonValue::from(0.0)),
+        ]),
+        name: name.clone(),
+        diff,
+        tolerance: 0.0,
+        expects_parallelism: true,
+    });
+    println!(
+        "{name}: fresh {mc_fresh_ms:.2} ms ({rps_mc_fresh:.0} req/s), 1-worker keep-alive \
+         {single_ms:.2} ms ({rps_single:.0} req/s), {mc_workers}-worker keep-alive \
+         {percore_ms:.2} ms ({rps_percore:.0} req/s), speedup {mc_speedup:.2}x, \
+         corrupted/uncached/mismatched {mc_bad}"
+    );
+    let mut perf_gate_failures = 0usize;
+    if hw_threads >= 4 {
+        if !smoke && mc_speedup < 3.0 {
+            eprintln!(
+                "FAIL {name}: per-core speedup {mc_speedup:.2}x is below the 3x gate \
+                 on a {hw_threads}-core host"
+            );
+            perf_gate_failures += 1;
+        }
+    } else {
+        eprintln!(
+            "warning: host has {hw_threads} core(s); the {name} 3x scaling gate \
+             needs >= 4 and was not enforced"
+        );
+    }
 
     // -- edge runtime under chaos: fits/sec and the floor invariant ---------
     // The graceful-degradation runtime (breaker + stale cache + local
@@ -601,6 +753,7 @@ fn main() {
         name: name.clone(),
         diff,
         tolerance: 0.0,
+        expects_parallelism: false,
     });
     println!(
         "{name}: healthy {healthy_ms:.2} ms ({rps_healthy:.0} fits/s), degraded \
@@ -608,7 +761,7 @@ fn main() {
     );
 
     // -- tolerance gate + report --------------------------------------------
-    let mut violations = 0;
+    let mut violations = perf_gate_failures;
     for k in &kernels {
         // NaN must fail the gate too, so test "not within tolerance".
         if k.diff.is_nan() || k.diff > k.tolerance {
@@ -619,6 +772,19 @@ fn main() {
             violations += 1;
         }
     }
+    // Provenance gate: a full run that timed thread-scaling kernels on one
+    // worker thread must not pass quietly — its recorded speedups would be
+    // ~1x noise dressed up as measurements. (The JSON is still written
+    // below so the misleading provenance is at least visible.)
+    let one_thread_offenders: Vec<String> = if dre_parallel::max_threads() <= 1 {
+        kernels
+            .iter()
+            .filter(|k| k.expects_parallelism)
+            .map(|k| k.name.clone())
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     if smoke {
         println!("smoke mode: skipping BENCH_parallel.json rewrite");
@@ -629,6 +795,7 @@ fn main() {
                 JsonValue::from("cargo run --release -p dre-bench --bin bench_parallel"),
             ),
             ("threads", JsonValue::from(dre_parallel::max_threads())),
+            ("hw_threads", JsonValue::from(hw_threads)),
             (
                 "parallel_feature",
                 JsonValue::from(cfg!(feature = "parallel")),
@@ -642,6 +809,18 @@ fn main() {
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
         std::fs::write(path, report.pretty()).expect("write BENCH_parallel.json");
         println!("wrote {path}");
+    }
+
+    if !smoke && !one_thread_offenders.is_empty() {
+        eprintln!(
+            "FAIL: parallelism-expecting kernel(s) ran with a single worker thread: {}",
+            one_thread_offenders.join(", ")
+        );
+        eprintln!(
+            "  re-run on a multi-core host (or set DRE_NUM_THREADS > 1) so the \
+             recorded speedups and the \"threads\" provenance mean something"
+        );
+        violations += 1;
     }
 
     if violations > 0 {

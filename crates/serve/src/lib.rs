@@ -9,11 +9,17 @@
 //!
 //! * [`frame`] — a length-prefixed, CRC-32-checksummed wire protocol
 //!   carrying the existing [`dro_edge::transfer`] payload unchanged.
-//! * [`server`] — a threaded TCP prior server with an `RwLock`-guarded
-//!   registry of fitted priors, a generation-stamped cache of
-//!   pre-encoded response frames (a prior hit is a lookup + write, with
-//!   no payload clone or CRC recompute), per-connection deadlines, and
-//!   graceful shutdown.
+//! * [`server`] — a per-core, readiness-polled TCP prior server. N
+//!   event-loop workers own their accepted connections outright and
+//!   multiplex thousands of keep-alive streams each over nonblocking
+//!   sockets ([`dre_netpoll`]); pipelined replies coalesce into single
+//!   flushes. The prior registry is published as immutable snapshots
+//!   with an atomic generation: a prior hit is one atomic load, a lookup
+//!   in the worker's own [`server::PriorView`], and one write of the
+//!   generation-stamped pre-encoded frame — zero locks, no payload
+//!   clone, no CRC recompute. Admission shedding, per-connection
+//!   deadlines, panic containment, and graceful shutdown carry over from
+//!   the threaded runtime unchanged.
 //! * [`client`] — an edge client with bounded retries, deterministic
 //!   exponential backoff with seeded jitter, typed errors that
 //!   distinguish retryable transport trouble from fatal protocol
@@ -64,10 +70,10 @@ pub use resilience::{
 pub use runtime::{EdgeRuntime, EdgeRuntimeConfig, RuntimeCounters, RuntimeFit};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics, LATENCY_BUCKETS};
 pub use server::{
-    InMemoryServer, PriorEntry, PriorServer, ReportedModel, ResponseBytes, ServeConfig,
+    InMemoryServer, PriorEntry, PriorServer, PriorView, ReportedModel, ResponseBytes, ServeConfig,
     ServerHandle, ServerState, MAX_ERROR_DETAIL_BYTES,
 };
 pub use transport::{
-    Connector, FaultConfig, FaultCounts, FaultInjector, FaultyConnector, FaultyTransport,
-    Responder, TcpConnector, TcpTransport, Transport,
+    read_step, write_step, Connector, FaultConfig, FaultCounts, FaultInjector, FaultyConnector,
+    FaultyTransport, IoStep, Responder, TcpConnector, TcpTransport, Transport,
 };

@@ -97,6 +97,21 @@ pub struct ServeMetrics {
     /// Requests sent over an already-open keep-alive stream instead of a
     /// fresh connection (client only).
     pub reused_connections: AtomicU64,
+    /// Registry snapshots built and published by the write path (server
+    /// only): one per `register_prior`/`register_payload`. The lock-free
+    /// read path never bumps this — readers adopt published snapshots by
+    /// generation check alone.
+    pub snapshot_publishes: AtomicU64,
+    /// Nonblocking reads that found the socket empty (server only). A
+    /// readiness-polled worker drains each socket greedily until the OS
+    /// says `WouldBlock`; this counts those boundary probes. Timing-
+    /// dependent, so excluded from `deterministic_counters`.
+    pub wouldblock_reads: AtomicU64,
+    /// Socket flushes that coalesced two or more pipelined replies into a
+    /// single `write` (server only). Timing-dependent (depends on how many
+    /// requests arrived in one readiness window), so excluded from
+    /// `deterministic_counters`.
+    pub batched_writes: AtomicU64,
     /// Per-exchange latency distribution.
     pub latency: LatencyHistogram,
 }
@@ -125,6 +140,9 @@ impl ServeMetrics {
             prior_cache_hits: self.prior_cache_hits.load(Ordering::Relaxed),
             prior_cache_builds: self.prior_cache_builds.load(Ordering::Relaxed),
             reused_connections: self.reused_connections.load(Ordering::Relaxed),
+            snapshot_publishes: self.snapshot_publishes.load(Ordering::Relaxed),
+            wouldblock_reads: self.wouldblock_reads.load(Ordering::Relaxed),
+            batched_writes: self.batched_writes.load(Ordering::Relaxed),
             latency_buckets: self.latency.snapshot(),
         }
     }
@@ -163,6 +181,12 @@ pub struct MetricsSnapshot {
     pub prior_cache_builds: u64,
     /// Requests sent over an already-open keep-alive stream.
     pub reused_connections: u64,
+    /// Registry snapshots built and published by the write path.
+    pub snapshot_publishes: u64,
+    /// Nonblocking reads that found the socket empty.
+    pub wouldblock_reads: u64,
+    /// Flushes that coalesced ≥ 2 pipelined replies into one write.
+    pub batched_writes: u64,
     /// Log2-spaced latency bucket counts.
     pub latency_buckets: [u64; LATENCY_BUCKETS],
 }
@@ -175,7 +199,10 @@ impl MetricsSnapshot {
 
     /// The counter fields minus wall-clock-dependent ones — equal across
     /// two runs of the same seeded scenario, unlike the latency histogram.
-    pub fn deterministic_counters(&self) -> [u64; 15] {
+    /// `wouldblock_reads` and `batched_writes` are deliberately absent:
+    /// both depend on how the kernel slices bytes across readiness
+    /// windows, which no seed controls.
+    pub fn deterministic_counters(&self) -> [u64; 16] {
         [
             self.requests,
             self.responses_ok,
@@ -192,6 +219,7 @@ impl MetricsSnapshot {
             self.prior_cache_hits,
             self.prior_cache_builds,
             self.reused_connections,
+            self.snapshot_publishes,
         ]
     }
 }
@@ -217,6 +245,11 @@ impl fmt::Display for MetricsSnapshot {
             f,
             "prior_cache_hits={} prior_cache_builds={} reused_connections={}",
             self.prior_cache_hits, self.prior_cache_builds, self.reused_connections
+        )?;
+        writeln!(
+            f,
+            "snapshot_publishes={} wouldblock_reads={} batched_writes={}",
+            self.snapshot_publishes, self.wouldblock_reads, self.batched_writes
         )?;
         write!(f, "latency:")?;
         let mut any = false;

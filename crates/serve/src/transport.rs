@@ -133,6 +133,64 @@ impl Transport for TcpTransport {
     }
 }
 
+/// Outcome of one step of nonblocking socket I/O — the primitive the
+/// polled per-core server runtime is built on. Unlike the blocking
+/// [`Transport`] methods, a step distinguishes "no progress possible right
+/// now" ([`IoStep::WouldBlock`]) from an actual failure, so an event loop
+/// can park the connection until the next readiness notification instead
+/// of erroring out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoStep {
+    /// `n > 0` bytes moved.
+    Progress(usize),
+    /// The socket cannot make progress without blocking; re-arm and wait
+    /// for readiness.
+    WouldBlock,
+    /// The peer closed cleanly (reads only).
+    Eof,
+}
+
+/// One nonblocking read into `buf`. `Interrupted` is retried; `WouldBlock`
+/// is a first-class outcome, not an error.
+pub fn read_step(stream: &mut TcpStream, buf: &mut [u8]) -> Result<IoStep> {
+    loop {
+        match stream.read(buf) {
+            Ok(0) => return Ok(IoStep::Eof),
+            Ok(n) => return Ok(IoStep::Progress(n)),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                return Ok(IoStep::WouldBlock)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(source) => return Err(ServeError::Io { op: "read", source }),
+        }
+    }
+}
+
+/// One nonblocking write from `buf`. `Interrupted` is retried; a `0`-byte
+/// write (a closed peer on some platforms) maps to an I/O error rather
+/// than an infinite loop.
+pub fn write_step(stream: &mut TcpStream, buf: &[u8]) -> Result<IoStep> {
+    loop {
+        match stream.write(buf) {
+            Ok(0) => {
+                return Err(ServeError::Io {
+                    op: "write",
+                    source: std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "peer accepted zero bytes",
+                    ),
+                })
+            }
+            Ok(n) => return Ok(IoStep::Progress(n)),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                return Ok(IoStep::WouldBlock)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(source) => return Err(ServeError::Io { op: "write", source }),
+        }
+    }
+}
+
 /// Fills `buf` from `r`; with `eof_ok`, 0 bytes before the first read is a
 /// clean EOF (`Ok(false)`), while an EOF mid-buffer is always a short read.
 fn read_fully<R: Read>(r: &mut R, buf: &mut [u8], eof_ok: bool) -> Result<bool> {

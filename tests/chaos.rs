@@ -158,7 +158,7 @@ struct FleetOutcome {
     /// Per-device runtime counters.
     counters: Vec<dre_serve::RuntimeCounters>,
     /// Per-device client-side deterministic transfer counters.
-    client_counters: Vec<[u64; 15]>,
+    client_counters: Vec<[u64; 16]>,
     /// Per-device injected-fault counts.
     fault_counts: Vec<dre_serve::FaultCounts>,
     /// Mean held-out accuracy over devices, per round.

@@ -444,3 +444,133 @@ fn loopback_server_answers_protocol_errors_without_dying() {
     assert_eq!(client.metrics().retries, 0);
     server.shutdown();
 }
+
+#[test]
+fn two_workers_multiplex_a_thousand_keepalive_connections() {
+    // Far more connections than workers: the readiness-polled event loops
+    // must multiplex them all, with exact request/response accounting.
+    const CONNS: usize = 1000;
+    const ROUNDS: usize = 2;
+    let payload = vec![0xA5u8; 96];
+    let expected = frame::encode(&frame::Message::PriorResponse {
+        payload: payload.clone(),
+    });
+
+    let config = ServeConfig {
+        workers: 2,
+        max_connections: Some(CONNS + 8),
+        read_timeout: Some(Duration::from_secs(60)),
+        write_timeout: Some(Duration::from_secs(60)),
+        ..ServeConfig::default()
+    };
+    let mut server = PriorServer::bind("127.0.0.1:0", config).unwrap();
+    server.state().register_payload(TASK_ID, payload);
+    let addr = server.addr();
+
+    let mut streams: Vec<_> = (0..CONNS)
+        .map(|_| {
+            TcpTransport::with_deadlines(
+                std::net::TcpStream::connect(addr).unwrap(),
+                Some(Duration::from_secs(60)),
+                Some(Duration::from_secs(60)),
+            )
+            .unwrap()
+        })
+        .collect();
+
+    // Every connection stays open across rounds; each round touches every
+    // stream so all of them are live in the workers' poll sets at once.
+    for _ in 0..ROUNDS {
+        for t in &mut streams {
+            frame::write_frame(&mut *t, &frame::Message::PriorRequest { task_id: TASK_ID })
+                .unwrap();
+        }
+        for t in &mut streams {
+            let (reply, _) =
+                frame::read_frame(&mut *t, dre_serve::DEFAULT_MAX_FRAME_LEN).unwrap();
+            assert_eq!(frame::encode(&reply), expected, "reply must match a fresh encode");
+            match reply {
+                frame::Message::PriorResponse { payload: p } => {
+                    assert_eq!(p.len(), 96);
+                    assert!(p.iter().all(|&b| b == 0xA5), "corrupted payload observed");
+                }
+                other => panic!("expected PriorResponse, got {other:?}"),
+            }
+        }
+    }
+    drop(streams);
+
+    let m = server.metrics();
+    assert_eq!(m.connections, CONNS as u64, "every connection admitted");
+    assert_eq!(m.shed_connections, 0, "nothing shed under the raised cap");
+    assert_eq!(m.requests, (CONNS * ROUNDS) as u64, "exact request count");
+    assert_eq!(m.responses_ok, (CONNS * ROUNDS) as u64);
+    assert_eq!(m.prior_cache_hits, (CONNS * ROUNDS) as u64);
+    assert_eq!(m.errors, 0);
+    assert_eq!(m.busy, 0);
+    assert_eq!(m.checksum_failures, 0);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_burst_is_answered_in_order_with_coalesced_writes() {
+    const BURST: usize = 64;
+    let payload = vec![0x5Au8; 48];
+    let expected = frame::encode(&frame::Message::PriorResponse {
+        payload: payload.clone(),
+    });
+
+    let config = ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    };
+    let mut server = PriorServer::bind("127.0.0.1:0", config).unwrap();
+    server.state().register_payload(TASK_ID, payload);
+
+    let mut t = TcpTransport::with_deadlines(
+        std::net::TcpStream::connect(server.addr()).unwrap(),
+        Some(Duration::from_secs(10)),
+        Some(Duration::from_secs(10)),
+    )
+    .unwrap();
+    // One write carrying BURST back-to-back requests…
+    let one_request = frame::encode(&frame::Message::PriorRequest { task_id: TASK_ID });
+    let mut burst = Vec::with_capacity(one_request.len() * BURST);
+    for _ in 0..BURST {
+        burst.extend_from_slice(&one_request);
+    }
+    use dre_serve::Transport as _;
+    t.send(&burst).unwrap();
+    // …gets BURST in-order replies, every one byte-identical to a fresh
+    // encode of the registered prior.
+    for _ in 0..BURST {
+        let (reply, _) = frame::read_frame(&mut t, dre_serve::DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert_eq!(frame::encode(&reply), expected);
+    }
+    drop(t);
+
+    let m = server.metrics();
+    // Exact accounting: one connection, BURST requests, all cache hits…
+    assert_eq!(m.connections, 1);
+    assert_eq!(m.requests, BURST as u64);
+    assert_eq!(m.responses_ok, BURST as u64);
+    assert_eq!(m.prior_cache_hits, BURST as u64);
+    assert_eq!(m.errors, 0);
+    // …and the replies were not dribbled out one write per request: at
+    // least one socket flush coalesced several pipelined replies.
+    assert!(
+        m.batched_writes > 0,
+        "pipelined replies must coalesce into batched writes"
+    );
+    assert_eq!(
+        m.bytes_in,
+        (one_request.len() * BURST) as u64,
+        "request byte accounting"
+    );
+    assert_eq!(
+        m.bytes_out,
+        (expected.len() * BURST) as u64,
+        "response byte accounting"
+    );
+    server.shutdown();
+}
