@@ -27,7 +27,10 @@ use dre_bench::degraded::{
 };
 use dre_bench::json::JsonValue;
 use dre_linalg::{Cholesky, Matrix};
-use dre_serve::{PriorClient, PriorServer, RetryPolicy, ServeConfig, TcpConnector};
+use dre_serve::{
+    PriorClient, PriorServer, RetryPolicy, ServeConfig, ShardPlaneConfig, ShardedPriorPlane,
+    TcpConnector,
+};
 use dre_models::{LinearModel, LogisticLoss};
 use dre_optim::Objective as _;
 use dre_prob::{seeded_rng, MvNormal, NormalInverseWishart};
@@ -585,7 +588,9 @@ fn main() {
     // pre-encoded cache, and (c) any byte mismatch between each server's
     // cached frame and a fresh `frame::encode` — zero tolerance: scaling
     // must not cost a single corrupted or uncached byte. On hosts with
-    // ≥ 4 cores the full (non-smoke) run additionally gates on ≥ 3×.
+    // ≥ 4 cores the full (non-smoke) run additionally gates on ≥ 3×;
+    // hosts below that can only timeshare the workers, so their rows are
+    // stamped `"degraded": true` and exempted from the gate.
     let hw_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -666,6 +671,9 @@ fn main() {
     let rps_mc_fresh = mc_requests as f64 / (mc_fresh_ms / 1e3);
     let rps_percore = mc_requests as f64 / (percore_ms / 1e3);
     let mc_speedup = single_ms / percore_ms;
+    // A host that cannot truly run 4 workers at once timeshares them; its
+    // speedup is scheduling noise, so the row is stamped rather than gated.
+    let degraded_host = hw_threads < 4;
     let name = "serve_loopback_rps_multicore".to_string();
     kernels.push(KernelReport {
         json: JsonValue::object([
@@ -682,6 +690,7 @@ fn main() {
             // threads is timesharing, not scaling.
             ("threads", JsonValue::from(mc_workers)),
             ("hw_threads", JsonValue::from(hw_threads)),
+            ("degraded", JsonValue::from(degraded_host)),
             ("rps_fresh", JsonValue::from(rps_mc_fresh)),
             ("rps_single_worker", JsonValue::from(rps_single)),
             ("rps_percore", JsonValue::from(rps_percore)),
@@ -700,19 +709,121 @@ fn main() {
          corrupted/uncached/mismatched {mc_bad}"
     );
     let mut perf_gate_failures = 0usize;
-    if hw_threads >= 4 {
-        if !smoke && mc_speedup < 3.0 {
-            eprintln!(
-                "FAIL {name}: per-core speedup {mc_speedup:.2}x is below the 3x gate \
-                 on a {hw_threads}-core host"
-            );
-            perf_gate_failures += 1;
-        }
-    } else {
+    if !smoke && !degraded_host && mc_speedup < 3.0 {
         eprintln!(
-            "warning: host has {hw_threads} core(s); the {name} 3x scaling gate \
-             needs >= 4 and was not enforced"
+            "FAIL {name}: per-core speedup {mc_speedup:.2}x is below the 3x gate \
+             on a {hw_threads}-core host"
         );
+        perf_gate_failures += 1;
+    }
+
+    // -- sharded prior plane throughput -------------------------------------
+    // The ROADMAP scale-out claim, measured end to end: the same routed
+    // keep-alive client fleet fetching per-task priors from a 1-shard
+    // plane vs a 4-shard plane. Each shard runs ONE event-loop worker, so
+    // any aggregate win comes from sharding itself, not from giving the
+    // bigger plane more threads per server. Every client routes through a
+    // `ShardDirectory`-backed `ShardConnector`; steady-state routing must
+    // be clean, so the diff counts (a) payloads that arrived
+    // byte-different from the registered one, (b) client retries, and
+    // (c) server-side misroutes summed across every shard — zero
+    // tolerance. On hosts with ≥ 4 cores the full (non-smoke) run gates
+    // on ≥ 2× aggregate req/s; degraded rows are stamped and exempted.
+    let shard_tasks: Vec<u64> = (1..=8).collect();
+    let shard_clients = shard_tasks.len();
+    let shard_requests = if smoke { 128 } else { 4096 };
+    let run_plane = |shards: usize| -> (f64, usize) {
+        let mut plane = ShardedPriorPlane::bind(ShardPlaneConfig {
+            shards,
+            replication: 2.min(shards),
+            serve: ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+            ..ShardPlaneConfig::default()
+        })
+        .expect("bind sharded plane");
+        for &task in &shard_tasks {
+            plane.register_payload(task, (*expected).clone());
+        }
+        let directory = plane.directory();
+        let per = shard_requests / shard_clients;
+        let (ms, bad) = time_best(3, || {
+            let handles: Vec<_> = shard_tasks
+                .iter()
+                .map(|&task| {
+                    let expected = std::sync::Arc::clone(&expected);
+                    let directory = std::sync::Arc::clone(&directory);
+                    std::thread::spawn(move || {
+                        let mut client = directory.client_for(task, RetryPolicy::default());
+                        let mut faults = 0usize;
+                        let mut payload = Vec::new();
+                        for _ in 0..per {
+                            client
+                                .fetch_prior_payload_into(task, &mut payload)
+                                .expect("routed fetch");
+                            if payload.as_slice() != expected.as_slice() {
+                                faults += 1;
+                            }
+                        }
+                        faults + client.metrics().retries as usize
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .sum::<usize>()
+        });
+        let misroutes: u64 = (0..shards)
+            .map(|i| plane.shard_metrics(i).map_or(0, |m| m.misroutes))
+            .sum();
+        plane.shutdown();
+        (ms, bad + misroutes as usize)
+    };
+    let (one_shard_ms, bad_one_shard) = run_plane(1);
+    let (four_shard_ms, bad_four_shard) = run_plane(4);
+    let diff = (bad_one_shard + bad_four_shard) as f64;
+    let rps_one_shard = shard_requests as f64 / (one_shard_ms / 1e3);
+    let rps_four_shards = shard_requests as f64 / (four_shard_ms / 1e3);
+    let sharded_speedup = one_shard_ms / four_shard_ms;
+    let name = "serve_sharded_rps".to_string();
+    kernels.push(KernelReport {
+        json: JsonValue::object([
+            ("name", JsonValue::from(name.as_str())),
+            ("one_shard_ms", JsonValue::from(one_shard_ms)),
+            ("four_shard_ms", JsonValue::from(four_shard_ms)),
+            ("speedup", JsonValue::from(sharded_speedup)),
+            ("requests", JsonValue::from(shard_requests)),
+            ("clients", JsonValue::from(shard_clients)),
+            ("shards", JsonValue::from(4usize)),
+            ("workers_per_shard", JsonValue::from(1usize)),
+            // Provenance: aggregate scaling needs the shards to truly run
+            // in parallel, so record what the host could actually do.
+            ("threads", JsonValue::from(dre_parallel::max_threads())),
+            ("hw_threads", JsonValue::from(hw_threads)),
+            ("degraded", JsonValue::from(degraded_host)),
+            ("rps_one_shard", JsonValue::from(rps_one_shard)),
+            ("rps_four_shards", JsonValue::from(rps_four_shards)),
+            ("max_abs_diff", JsonValue::from(diff)),
+            ("tolerance", JsonValue::from(0.0)),
+        ]),
+        name: name.clone(),
+        diff,
+        tolerance: 0.0,
+        expects_parallelism: true,
+    });
+    println!(
+        "{name}: 1 shard {one_shard_ms:.2} ms ({rps_one_shard:.0} req/s), 4 shards \
+         {four_shard_ms:.2} ms ({rps_four_shards:.0} req/s), speedup {sharded_speedup:.2}x, \
+         corrupted/retried/misrouted {diff}"
+    );
+    if !smoke && !degraded_host && sharded_speedup < 2.0 {
+        eprintln!(
+            "FAIL {name}: 4-shard aggregate speedup {sharded_speedup:.2}x is below the \
+             2x gate on a {hw_threads}-core host"
+        );
+        perf_gate_failures += 1;
     }
 
     // -- edge runtime under chaos: fits/sec and the floor invariant ---------

@@ -58,9 +58,9 @@ mod time;
 pub use event::{Event, EventQueue};
 pub use network::Link;
 pub use scenario::{
-    model_bytes, model_report_bytes, prior_transfer_bytes, raw_data_bytes, ClientMode,
-    ComputeModel, DeviceReport, DeviceSpec, EnergyModel, RetryModel, Scenario, SimReport,
-    Strategy, REQUEST_BYTES,
+    model_bytes, model_report_bytes, prior_transfer_bytes, raw_data_bytes, shard_map_bytes,
+    ClientMode, ComputeModel, DeviceReport, DeviceSpec, EnergyModel, RetryModel, Scenario,
+    SimReport, Strategy, REQUEST_BYTES,
 };
 pub use time::{SimDuration, SimTime};
 

@@ -270,6 +270,15 @@ pub const fn model_report_bytes(dim: usize) -> u64 {
     dre_serve::frame::model_report_frame_len(dim + 1) as u64
 }
 
+/// Size in bytes of the framed `ShardMapResponse` a routed client fetches
+/// when it bootstraps (or refreshes) its view of a `num_shards`-member
+/// sharded prior plane — the exact `dre-serve` frame length
+/// ([`dre_serve::frame::shard_map_response_frame_len`]), so simulations of
+/// sharded deployments charge the true one-off discovery cost.
+pub const fn shard_map_bytes(num_shards: usize) -> u64 {
+    dre_serve::frame::shard_map_response_frame_len(num_shards) as u64
+}
+
 /// A cloud–edge deployment scenario over a star topology.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -937,6 +946,31 @@ mod tests {
         let e = EnergyModel::default();
         // One byte costs as much as ~20k FLOPs — the IoT radio/compute gap.
         assert!(e.joules_per_byte / e.joules_per_flop > 1e4);
+    }
+
+    #[test]
+    fn shard_map_bytes_matches_the_real_encoded_frame() {
+        // The const helper must charge exactly the bytes the real codec
+        // puts on the wire, for any plane size and address family mix.
+        for shards in [1usize, 3, 4, 16] {
+            let map = dre_serve::ShardMapWire {
+                epoch: 3,
+                seed: 0x5EED,
+                replication: 2,
+                virtual_nodes: 64,
+                shards: (0..shards)
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            format!("127.0.0.1:{}", 9_000 + i).parse().unwrap()
+                        } else {
+                            format!("[::1]:{}", 9_000 + i).parse().unwrap()
+                        }
+                    })
+                    .collect(),
+            };
+            let framed = dre_serve::frame::encode(&dre_serve::Message::ShardMapResponse { map });
+            assert_eq!(framed.len() as u64, shard_map_bytes(shards));
+        }
     }
 
     #[test]

@@ -21,7 +21,9 @@ use rand::{Rng, SeedableRng};
 
 use dre_bayes::MixturePrior;
 
-use crate::frame::{self, HealthStatus, Message, MessageRef, DEFAULT_MAX_FRAME_LEN};
+use crate::frame::{
+    self, ErrorCode, HealthStatus, Message, MessageRef, ShardMapWire, DEFAULT_MAX_FRAME_LEN,
+};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::transport::{Connector, Transport};
 use crate::{Result, ServeError};
@@ -204,6 +206,19 @@ impl<C: Connector> PriorClient<C> {
         }
     }
 
+    /// Fetches the epoch-stamped shard map from the connected server —
+    /// only shards that are part of a [`crate::shard::ShardedPriorPlane`]
+    /// answer this.
+    pub fn fetch_shard_map(&mut self) -> Result<ShardMapWire> {
+        match self.exchange(&Message::ShardMapRequest, None)? {
+            Message::ShardMapResponse { map } => Ok(map),
+            other => Err(ServeError::UnexpectedMessage {
+                got: other.kind_name(),
+                expected: "ShardMapResponse",
+            }),
+        }
+    }
+
     /// One request/response exchange under the retry policy. A protocol
     /// `Error` reply is surfaced as [`ServeError::Remote`] (fatal); a
     /// `Busy` reply is retryable, and its retry-after hint (capped at the
@@ -252,6 +267,13 @@ impl<C: Connector> PriorClient<C> {
                             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                         return Err(e);
                     }
+                    // A misroute redirect arrived on an intact stream, but
+                    // retrying it against the same shard would redirect
+                    // forever — drop the stream so the connector re-routes.
+                    if matches!(e, ServeError::Misrouted { .. }) {
+                        self.stream = None;
+                    }
+                    self.connector.note_retryable_error(&e);
                     last = Some(e);
                 }
             }
@@ -302,6 +324,18 @@ impl<C: Connector> PriorClient<C> {
             self.stream = Some(transport);
         }
         match frame::decode_body_ref(&self.read_buf[frame::LEN_PREFIX..])? {
+            // A misroute is a redirect, not a failure: retryable, so the
+            // routing connector gets a chance to re-aim the next attempt.
+            MessageRef::Error {
+                code: ErrorCode::Misrouted,
+                detail,
+            } => Err(ServeError::Misrouted {
+                task_id: match request {
+                    Message::PriorRequest { task_id } => *task_id,
+                    _ => 0,
+                },
+                detail: detail.to_string(),
+            }),
             MessageRef::Error { code, detail } => Err(ServeError::Remote {
                 code,
                 detail: detail.to_string(),

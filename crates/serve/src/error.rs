@@ -105,6 +105,15 @@ pub enum ServeError {
         /// Server-suggested minimum backoff before the next attempt.
         retry_after: std::time::Duration,
     },
+    /// The contacted shard does not own the requested task id — a redirect,
+    /// not a failure. Retryable: the routing layer refreshes its shard map
+    /// and the next attempt lands on the owner (or a replica).
+    Misrouted {
+        /// Task id the request asked for.
+        task_id: u64,
+        /// Human-readable detail from the shard (which epoch it routed by).
+        detail: String,
+    },
 }
 
 impl ServeError {
@@ -119,6 +128,7 @@ impl ServeError {
                 | ServeError::ChecksumMismatch { .. }
                 | ServeError::InjectedFault { .. }
                 | ServeError::Busy { .. }
+                | ServeError::Misrouted { .. }
         )
     }
 
@@ -165,6 +175,9 @@ impl fmt::Display for ServeError {
             ServeError::Busy { retry_after } => {
                 write!(f, "server busy: retry after {retry_after:?}")
             }
+            ServeError::Misrouted { task_id, detail } => {
+                write!(f, "shard does not own task {task_id}: {detail}")
+            }
         }
     }
 }
@@ -199,6 +212,10 @@ mod tests {
             ServeError::InjectedFault { what: "drop" },
             ServeError::Busy {
                 retry_after: std::time::Duration::from_millis(20),
+            },
+            ServeError::Misrouted {
+                task_id: 9,
+                detail: "owned by shard 2 at epoch 4".into(),
             },
         ];
         for e in &retryable {

@@ -7,6 +7,7 @@
 //! ver      u8       frame version (1)
 //! kind     u8       0 Ping · 1 PriorRequest · 2 PriorResponse · 3 ModelReport
 //!                   · 4 Error · 5 Busy · 6 Health · 7 HealthReport
+//!                   · 8 ShardMapRequest · 9 ShardMapResponse
 //! crc      u32 LE   CRC-32 (IEEE) over ver ‖ kind ‖ payload
 //! payload  bytes    kind-specific
 //! ```
@@ -25,6 +26,13 @@
 //! * `Health` — empty; asks the server for a [`HealthStatus`] snapshot.
 //! * `HealthReport` — `queue_depth: u32`, `in_flight: u32`, `shed: u64`,
 //!   `worker_panics: u64`.
+//! * `ShardMapRequest` — empty; asks any shard for the current
+//!   [`ShardMapWire`].
+//! * `ShardMapResponse` — `epoch: u64`, `seed: u64`, `replication: u32`,
+//!   `virtual_nodes: u32`, `count: u32`, then `count ×` fixed 19-byte
+//!   shard addresses (`family: u8` = 4 or 6, 16 address bytes — v4 octets
+//!   zero-padded — then `port: u16`). Fixed-width addresses keep the frame
+//!   length a `const fn` of the shard count.
 //!
 //! Decoding checks the CRC *before* the version byte so that a corrupted
 //! version byte is classified as retryable corruption, not a fatal version
@@ -89,6 +97,21 @@ pub const fn health_report_frame_len() -> usize {
     FRAME_OVERHEAD + 4 + 4 + 8 + 8
 }
 
+/// Bytes of one fixed-width shard address inside a `ShardMapResponse`:
+/// family byte + 16 address bytes + port.
+pub const SHARD_ADDR_WIRE_LEN: usize = 1 + 16 + 2;
+
+/// Exact wire size of a `ShardMapRequest` frame.
+pub const fn shard_map_request_frame_len() -> usize {
+    FRAME_OVERHEAD
+}
+
+/// Exact wire size of a `ShardMapResponse` frame carrying `n` shard
+/// addresses.
+pub const fn shard_map_response_frame_len(n: usize) -> usize {
+    FRAME_OVERHEAD + 8 + 8 + 4 + 4 + 4 + SHARD_ADDR_WIRE_LEN * n
+}
+
 /// Machine-readable reason inside a protocol `Error` message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
@@ -104,6 +127,10 @@ pub enum ErrorCode {
     Version = 4,
     /// The server failed internally while producing a response.
     Internal = 5,
+    /// The requested task id is owned by a different shard — a redirect,
+    /// not a lookup failure. The client should refresh its shard map and
+    /// retry against the owner.
+    Misrouted = 6,
 }
 
 impl ErrorCode {
@@ -114,7 +141,109 @@ impl ErrorCode {
             3 => Some(ErrorCode::Malformed),
             4 => Some(ErrorCode::Version),
             5 => Some(ErrorCode::Internal),
+            6 => Some(ErrorCode::Misrouted),
             _ => None,
+        }
+    }
+}
+
+/// The shard map as carried by [`Message::ShardMapResponse`]: everything a
+/// client needs to rebuild the exact consistent-hash ring the plane routes
+/// with (same seed, same virtual-node count) plus the replica set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMapWire {
+    /// Monotone map generation; bumped on every add/remove/rebalance.
+    pub epoch: u64,
+    /// Seed of the ring's stable hash.
+    pub seed: u64,
+    /// Replicas per task id (clamped to the shard count).
+    pub replication: u32,
+    /// Virtual nodes per shard on the ring.
+    pub virtual_nodes: u32,
+    /// Shard listen addresses, in shard-index order.
+    pub shards: Vec<std::net::SocketAddr>,
+}
+
+fn write_shard_addr(out: &mut Vec<u8>, addr: &std::net::SocketAddr) {
+    match addr.ip() {
+        std::net::IpAddr::V4(ip) => {
+            out.push(4);
+            out.extend_from_slice(&ip.octets());
+            out.extend_from_slice(&[0u8; 12]);
+        }
+        std::net::IpAddr::V6(ip) => {
+            out.push(6);
+            out.extend_from_slice(&ip.octets());
+        }
+    }
+    out.extend_from_slice(&addr.port().to_le_bytes());
+}
+
+fn read_shard_addr(raw: &[u8]) -> Result<std::net::SocketAddr> {
+    debug_assert_eq!(raw.len(), SHARD_ADDR_WIRE_LEN);
+    let port = u16::from_le_bytes(raw[17..19].try_into().expect("2 bytes"));
+    let ip = match raw[0] {
+        4 => {
+            if raw[5..17].iter().any(|&b| b != 0) {
+                return Err(ServeError::MalformedFrame {
+                    reason: "ShardMapResponse v4 address padding is nonzero",
+                });
+            }
+            std::net::IpAddr::V4(std::net::Ipv4Addr::new(raw[1], raw[2], raw[3], raw[4]))
+        }
+        6 => {
+            let octets: [u8; 16] = raw[1..17].try_into().expect("16 bytes");
+            std::net::IpAddr::V6(std::net::Ipv6Addr::from(octets))
+        }
+        _ => {
+            return Err(ServeError::MalformedFrame {
+                reason: "ShardMapResponse address family is neither 4 nor 6",
+            })
+        }
+    };
+    Ok(std::net::SocketAddr::new(ip, port))
+}
+
+/// Borrowing view of a `ShardMapResponse` payload: the header fields are
+/// parsed eagerly (they are fixed-width), the address list stays in the
+/// frame buffer and decodes lazily.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMapRef<'a> {
+    /// See [`ShardMapWire::epoch`].
+    pub epoch: u64,
+    /// See [`ShardMapWire::seed`].
+    pub seed: u64,
+    /// See [`ShardMapWire::replication`].
+    pub replication: u32,
+    /// See [`ShardMapWire::virtual_nodes`].
+    pub virtual_nodes: u32,
+    raw_shards: &'a [u8],
+}
+
+impl ShardMapRef<'_> {
+    /// Number of shard addresses carried.
+    pub fn len(&self) -> usize {
+        self.raw_shards.len() / SHARD_ADDR_WIRE_LEN
+    }
+
+    /// True when the map carries no shards.
+    pub fn is_empty(&self) -> bool {
+        self.raw_shards.is_empty()
+    }
+
+    /// Decodes the full owned map. Address grammar was already validated
+    /// by [`decode_body_ref`], so this cannot fail.
+    pub fn to_wire(&self) -> ShardMapWire {
+        ShardMapWire {
+            epoch: self.epoch,
+            seed: self.seed,
+            replication: self.replication,
+            virtual_nodes: self.virtual_nodes,
+            shards: self
+                .raw_shards
+                .chunks_exact(SHARD_ADDR_WIRE_LEN)
+                .map(|c| read_shard_addr(c).expect("validated at decode"))
+                .collect(),
         }
     }
 }
@@ -184,6 +313,13 @@ pub enum Message {
     Health,
     /// Cloud → edge: load and resilience gauges.
     HealthReport(HealthStatus),
+    /// Edge → cloud: request the current [`Message::ShardMapResponse`].
+    ShardMapRequest,
+    /// Cloud → edge: the epoch-stamped shard map.
+    ShardMapResponse {
+        /// The routing map.
+        map: ShardMapWire,
+    },
 }
 
 impl Message {
@@ -197,6 +333,8 @@ impl Message {
             Message::Busy { .. } => 5,
             Message::Health => 6,
             Message::HealthReport(_) => 7,
+            Message::ShardMapRequest => 8,
+            Message::ShardMapResponse { .. } => 9,
         }
     }
 
@@ -211,6 +349,8 @@ impl Message {
             Message::Busy { .. } => "Busy",
             Message::Health => "Health",
             Message::HealthReport(_) => "HealthReport",
+            Message::ShardMapRequest => "ShardMapRequest",
+            Message::ShardMapResponse { .. } => "ShardMapResponse",
         }
     }
 
@@ -239,6 +379,17 @@ impl Message {
                 out.extend_from_slice(&h.in_flight.to_le_bytes());
                 out.extend_from_slice(&h.shed_connections.to_le_bytes());
                 out.extend_from_slice(&h.worker_panics.to_le_bytes());
+            }
+            Message::ShardMapRequest => {}
+            Message::ShardMapResponse { map } => {
+                out.extend_from_slice(&map.epoch.to_le_bytes());
+                out.extend_from_slice(&map.seed.to_le_bytes());
+                out.extend_from_slice(&map.replication.to_le_bytes());
+                out.extend_from_slice(&map.virtual_nodes.to_le_bytes());
+                out.extend_from_slice(&(map.shards.len() as u32).to_le_bytes());
+                for addr in &map.shards {
+                    write_shard_addr(out, addr);
+                }
             }
         }
     }
@@ -366,6 +517,14 @@ pub enum MessageRef<'a> {
     Health,
     /// See [`Message::HealthReport`].
     HealthReport(HealthStatus),
+    /// See [`Message::ShardMapRequest`].
+    ShardMapRequest,
+    /// See [`Message::ShardMapResponse`]; the address list borrows the
+    /// frame.
+    ShardMapResponse {
+        /// The routing map, addresses still in the frame buffer.
+        map: ShardMapRef<'a>,
+    },
 }
 
 impl MessageRef<'_> {
@@ -380,6 +539,8 @@ impl MessageRef<'_> {
             MessageRef::Busy { .. } => "Busy",
             MessageRef::Health => "Health",
             MessageRef::HealthReport(_) => "HealthReport",
+            MessageRef::ShardMapRequest => "ShardMapRequest",
+            MessageRef::ShardMapResponse { .. } => "ShardMapResponse",
         }
     }
 
@@ -402,6 +563,10 @@ impl MessageRef<'_> {
             MessageRef::Busy { retry_after_ms } => Message::Busy { retry_after_ms },
             MessageRef::Health => Message::Health,
             MessageRef::HealthReport(h) => Message::HealthReport(h),
+            MessageRef::ShardMapRequest => Message::ShardMapRequest,
+            MessageRef::ShardMapResponse { map } => Message::ShardMapResponse {
+                map: map.to_wire(),
+            },
         }
     }
 }
@@ -546,6 +711,51 @@ pub fn decode_body_ref(body: &[u8]) -> Result<MessageRef<'_>> {
                 shed_connections: u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes")),
                 worker_panics: u64::from_le_bytes(payload[16..24].try_into().expect("8 bytes")),
             }))
+        }
+        8 => {
+            if !payload.is_empty() {
+                return Err(ServeError::MalformedFrame {
+                    reason: "ShardMapRequest carries a payload",
+                });
+            }
+            Ok(MessageRef::ShardMapRequest)
+        }
+        9 => {
+            const HEADER: usize = 8 + 8 + 4 + 4 + 4;
+            if payload.len() < HEADER {
+                return Err(ServeError::MalformedFrame {
+                    reason: "ShardMapResponse payload shorter than its header",
+                });
+            }
+            let epoch = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+            let seed = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+            let replication = u32::from_le_bytes(payload[16..20].try_into().expect("4 bytes"));
+            let virtual_nodes = u32::from_le_bytes(payload[20..24].try_into().expect("4 bytes"));
+            let count = u32::from_le_bytes(payload[24..28].try_into().expect("4 bytes")) as usize;
+            if payload.len() != HEADER + SHARD_ADDR_WIRE_LEN * count {
+                return Err(ServeError::MalformedFrame {
+                    reason: "ShardMapResponse shard count disagrees with its length",
+                });
+            }
+            if replication == 0 || virtual_nodes == 0 {
+                return Err(ServeError::MalformedFrame {
+                    reason: "ShardMapResponse replication and virtual_nodes must be nonzero",
+                });
+            }
+            let raw_shards = &payload[HEADER..];
+            // Validate every address now so the lazy decode cannot fail.
+            for chunk in raw_shards.chunks_exact(SHARD_ADDR_WIRE_LEN) {
+                read_shard_addr(chunk)?;
+            }
+            Ok(MessageRef::ShardMapResponse {
+                map: ShardMapRef {
+                    epoch,
+                    seed,
+                    replication,
+                    virtual_nodes,
+                    raw_shards,
+                },
+            })
         }
         _ => Err(ServeError::MalformedFrame {
             reason: "unknown message kind",
@@ -695,6 +905,19 @@ mod tests {
                 shed_connections: 11,
                 worker_panics: 1,
             }),
+            Message::ShardMapRequest,
+            Message::ShardMapResponse {
+                map: ShardMapWire {
+                    epoch: 5,
+                    seed: 7_400,
+                    replication: 2,
+                    virtual_nodes: 16,
+                    shards: vec![
+                        "127.0.0.1:9001".parse().unwrap(),
+                        "[::1]:9002".parse().unwrap(),
+                    ],
+                },
+            },
         ]
     }
 
@@ -736,6 +959,26 @@ mod tests {
             encode(&Message::HealthReport(HealthStatus::default())).len(),
             health_report_frame_len()
         );
+        assert_eq!(
+            encode(&Message::ShardMapRequest).len(),
+            shard_map_request_frame_len()
+        );
+        for n in [0usize, 1, 4] {
+            let map = ShardMapWire {
+                epoch: 1,
+                seed: 2,
+                replication: 1,
+                virtual_nodes: 8,
+                shards: (0..n)
+                    .map(|i| format!("10.0.0.{}:70{i:02}", i + 1).parse().unwrap())
+                    .collect(),
+            };
+            assert_eq!(
+                encode(&Message::ShardMapResponse { map }).len(),
+                shard_map_response_frame_len(n),
+                "shard map frame length for {n} shard(s)"
+            );
+        }
     }
 
     #[test]
@@ -815,8 +1058,44 @@ mod tests {
             Err(ServeError::MalformedFrame { .. })
         ));
         // Busy with a short hint, Health with a payload, HealthReport with
-        // a truncated payload — all grammar violations with a valid CRC.
-        for (kind, payload) in [(5u8, vec![1u8, 2]), (6, vec![9]), (7, vec![0; 23])] {
+        // a truncated payload, ShardMapRequest with a payload, and
+        // ShardMapResponse frames that are truncated, count-inconsistent,
+        // zero-replication, bad-family, or pad-dirty — all grammar
+        // violations with a valid CRC.
+        let map_header = |rep: u32, vnodes: u32, count: u32| -> Vec<u8> {
+            let mut p = Vec::new();
+            p.extend_from_slice(&1u64.to_le_bytes());
+            p.extend_from_slice(&2u64.to_le_bytes());
+            p.extend_from_slice(&rep.to_le_bytes());
+            p.extend_from_slice(&vnodes.to_le_bytes());
+            p.extend_from_slice(&count.to_le_bytes());
+            p
+        };
+        let good_addr = |family: u8, pad: u8| -> Vec<u8> {
+            let mut a = vec![family, 127, 0, 0, 1];
+            a.extend_from_slice(&[pad; 12]);
+            a.extend_from_slice(&9001u16.to_le_bytes());
+            a
+        };
+        let mut count_mismatch = map_header(1, 8, 2);
+        count_mismatch.extend_from_slice(&good_addr(4, 0));
+        let mut zero_rep = map_header(0, 8, 1);
+        zero_rep.extend_from_slice(&good_addr(4, 0));
+        let mut bad_family = map_header(1, 8, 1);
+        bad_family.extend_from_slice(&good_addr(9, 0));
+        let mut dirty_pad = map_header(1, 8, 1);
+        dirty_pad.extend_from_slice(&good_addr(4, 0xAA));
+        for (kind, payload) in [
+            (5u8, vec![1u8, 2]),
+            (6, vec![9]),
+            (7, vec![0; 23]),
+            (8, vec![1]),
+            (9, vec![0; 27]),
+            (9, count_mismatch),
+            (9, zero_rep),
+            (9, bad_family),
+            (9, dirty_pad),
+        ] {
             let mut body = vec![FRAME_VERSION, kind, 0, 0, 0, 0];
             body.extend_from_slice(&payload);
             let crc = Crc32::new()

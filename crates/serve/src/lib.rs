@@ -38,6 +38,11 @@
 //!   fetch→fit→report loop that degrades from fresh-prior DRO through
 //!   stale-prior fits down to the paper's local-only ERM baseline, tagging
 //!   every fit with its [`dro_edge::FitMode`].
+//! * [`shard`] — the sharded prior plane: a consistent-hash ring with
+//!   per-task replication routes registrations and fetches across N
+//!   prior servers; clients hold an epoch-stamped [`shard::ShardMap`]
+//!   and fail over to replicas (or refresh the map on a
+//!   [`ServeError::Misrouted`] redirect) inside the existing retry loop.
 //!
 //! The frame-length helpers ([`frame::prior_request_frame_len`],
 //! [`frame::prior_response_frame_len`]) are `const fn`, so the network
@@ -54,6 +59,7 @@ pub mod metrics;
 pub mod resilience;
 pub mod runtime;
 pub mod server;
+pub mod shard;
 pub mod transport;
 
 pub use client::{PriorClient, RetryPolicy};
@@ -61,8 +67,10 @@ pub use crc32::{crc32, Crc32};
 pub use error::{Result, ServeError};
 pub use frame::{
     busy_frame_len, health_frame_len, health_report_frame_len, model_report_frame_len,
-    ping_frame_len, prior_request_frame_len, prior_response_frame_len, ErrorCode, HealthStatus,
-    Message, MessageRef, ParamsRef, DEFAULT_MAX_FRAME_LEN, FRAME_OVERHEAD, FRAME_VERSION,
+    ping_frame_len, prior_request_frame_len, prior_response_frame_len,
+    shard_map_request_frame_len, shard_map_response_frame_len, ErrorCode, HealthStatus, Message,
+    MessageRef, ParamsRef, ShardMapRef, ShardMapWire, DEFAULT_MAX_FRAME_LEN, FRAME_OVERHEAD,
+    FRAME_VERSION, SHARD_ADDR_WIRE_LEN,
 };
 pub use resilience::{
     BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, StalePriorCache,
@@ -71,7 +79,11 @@ pub use runtime::{EdgeRuntime, EdgeRuntimeConfig, RuntimeCounters, RuntimeFit};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics, LATENCY_BUCKETS};
 pub use server::{
     InMemoryServer, PriorEntry, PriorServer, PriorView, ReportedModel, ResponseBytes, ServeConfig,
-    ServerHandle, ServerState, MAX_ERROR_DETAIL_BYTES,
+    ServerHandle, ServerState, ShardRoute, MAX_ERROR_DETAIL_BYTES,
+};
+pub use shard::{
+    default_shards, stable_shard_hash, HashRing, ShardConnector, ShardDirectory, ShardMap,
+    ShardPlaneConfig, ShardedPriorPlane,
 };
 pub use transport::{
     read_step, write_step, Connector, FaultConfig, FaultCounts, FaultInjector, FaultyConnector,

@@ -112,6 +112,18 @@ pub struct ServeMetrics {
     /// requests arrived in one readiness window), so excluded from
     /// `deterministic_counters`.
     pub batched_writes: AtomicU64,
+    /// Fetches re-routed from a dead or misrouting shard to the next
+    /// replica in ring order (routing client only).
+    pub shard_failovers: AtomicU64,
+    /// Shard-map fetches performed — one at routing-client construction
+    /// plus one per epoch change it observes (routing client only).
+    pub map_refreshes: AtomicU64,
+    /// Replica registrations fanned out by `register_prior` beyond the
+    /// primary — R−1 per registered task (plane only).
+    pub replica_fanouts: AtomicU64,
+    /// `PriorRequest`s for a task id this shard does not own, answered
+    /// with a retryable `Misrouted` redirect (server only).
+    pub misroutes: AtomicU64,
     /// Per-exchange latency distribution.
     pub latency: LatencyHistogram,
 }
@@ -143,6 +155,10 @@ impl ServeMetrics {
             snapshot_publishes: self.snapshot_publishes.load(Ordering::Relaxed),
             wouldblock_reads: self.wouldblock_reads.load(Ordering::Relaxed),
             batched_writes: self.batched_writes.load(Ordering::Relaxed),
+            shard_failovers: self.shard_failovers.load(Ordering::Relaxed),
+            map_refreshes: self.map_refreshes.load(Ordering::Relaxed),
+            replica_fanouts: self.replica_fanouts.load(Ordering::Relaxed),
+            misroutes: self.misroutes.load(Ordering::Relaxed),
             latency_buckets: self.latency.snapshot(),
         }
     }
@@ -187,6 +203,14 @@ pub struct MetricsSnapshot {
     pub wouldblock_reads: u64,
     /// Flushes that coalesced ≥ 2 pipelined replies into one write.
     pub batched_writes: u64,
+    /// Fetches re-routed to the next replica in ring order.
+    pub shard_failovers: u64,
+    /// Shard-map fetches performed.
+    pub map_refreshes: u64,
+    /// Replica registrations fanned out beyond the primary.
+    pub replica_fanouts: u64,
+    /// Misrouted prior requests answered with a retryable redirect.
+    pub misroutes: u64,
     /// Log2-spaced latency bucket counts.
     pub latency_buckets: [u64; LATENCY_BUCKETS],
 }
@@ -202,7 +226,7 @@ impl MetricsSnapshot {
     /// `wouldblock_reads` and `batched_writes` are deliberately absent:
     /// both depend on how the kernel slices bytes across readiness
     /// windows, which no seed controls.
-    pub fn deterministic_counters(&self) -> [u64; 16] {
+    pub fn deterministic_counters(&self) -> [u64; 20] {
         [
             self.requests,
             self.responses_ok,
@@ -220,6 +244,10 @@ impl MetricsSnapshot {
             self.prior_cache_builds,
             self.reused_connections,
             self.snapshot_publishes,
+            self.shard_failovers,
+            self.map_refreshes,
+            self.replica_fanouts,
+            self.misroutes,
         ]
     }
 }
@@ -250,6 +278,11 @@ impl fmt::Display for MetricsSnapshot {
             f,
             "snapshot_publishes={} wouldblock_reads={} batched_writes={}",
             self.snapshot_publishes, self.wouldblock_reads, self.batched_writes
+        )?;
+        writeln!(
+            f,
+            "shard_failovers={} map_refreshes={} replica_fanouts={} misroutes={}",
+            self.shard_failovers, self.map_refreshes, self.replica_fanouts, self.misroutes
         )?;
         write!(f, "latency:")?;
         let mut any = false;

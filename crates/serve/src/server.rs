@@ -227,12 +227,31 @@ impl AsRef<[u8]> for ResponseBytes {
 /// The registry as the read path sees it.
 type Registry = HashMap<u64, PriorEntry>;
 
-/// The write side's published state: the current immutable snapshot and
-/// the generation that built it. Guarded by one mutex that only writers
-/// and stale readers touch.
+/// Routing identity a server carries once it joins a sharded plane: the
+/// epoch-stamped map it routes by, this server's own index in that map,
+/// and the complete pre-encoded `ShardMapResponse` frame served to map
+/// requests — encoded once per (re)publication, exactly like prior
+/// frames, so the hot path hands out a shared reference.
+#[derive(Debug, Clone)]
+pub struct ShardRoute {
+    /// The plane-wide, epoch-stamped shard map.
+    pub map: crate::shard::ShardMap,
+    /// This server's index into the map's shard list.
+    pub self_index: usize,
+    /// Pre-encoded `ShardMapResponse` frame for zero-copy map serving.
+    pub frame: Arc<[u8]>,
+}
+
+/// The write side's published state: the current immutable snapshot, the
+/// shard route (when this server is part of a sharded plane), and the
+/// generation that built them. Guarded by one mutex that only writers and
+/// stale readers touch — installing or republishing a route is a
+/// generation-bumping publication, so warm readers pick it up with the
+/// same single atomic load that covers prior registrations.
 #[derive(Debug)]
 struct Published {
     snapshot: Arc<Registry>,
+    route: Option<Arc<ShardRoute>>,
     generation: u64,
 }
 
@@ -245,6 +264,7 @@ struct Published {
 #[derive(Debug, Clone)]
 pub struct PriorView {
     snapshot: Arc<Registry>,
+    route: Option<Arc<ShardRoute>>,
     generation: u64,
 }
 
@@ -252,6 +272,11 @@ impl PriorView {
     /// The generation this view was adopted at.
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The shard route this view was adopted with, if any.
+    pub fn route(&self) -> Option<&Arc<ShardRoute>> {
+        self.route.as_ref()
     }
 
     /// Number of tasks visible in this view.
@@ -299,6 +324,7 @@ impl Default for ServerState {
         ServerState {
             published: Mutex::new(Published {
                 snapshot: Arc::new(Registry::new()),
+                route: None,
                 generation: 0,
             }),
             generation: AtomicU64::new(0),
@@ -401,6 +427,34 @@ impl ServerState {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Installs (or republishes) this server's shard route. The
+    /// `ShardMapResponse` frame is encoded once, outside the lock; the
+    /// route rides the same publication mechanism as prior registrations —
+    /// a generation bump — so every keep-alive worker adopts the new map
+    /// on its next single-atomic-load revalidation, and re-sharding never
+    /// takes a lock on the read path.
+    pub fn install_shard_route(&self, map: crate::shard::ShardMap, self_index: usize) {
+        let frame: Arc<[u8]> = frame::encode(&Message::ShardMapResponse {
+            map: map.wire().clone(),
+        })
+        .into();
+        let route = Arc::new(ShardRoute { map, self_index, frame });
+        let mut slot = self.published_lock();
+        let generation = slot.generation + 1;
+        slot.route = Some(route);
+        slot.generation = generation;
+        self.generation.store(generation, Ordering::Release);
+        self.metrics
+            .snapshot_publishes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The installed shard route, if this server joined a sharded plane
+    /// (slow path: takes the publication lock once).
+    pub fn shard_route(&self) -> Option<Arc<ShardRoute>> {
+        self.prior_view().route
+    }
+
     /// The current registry generation (0 before any registration).
     pub fn cache_generation(&self) -> u64 {
         self.generation.load(Ordering::SeqCst)
@@ -412,6 +466,7 @@ impl ServerState {
         let slot = self.published_lock();
         PriorView {
             snapshot: Arc::clone(&slot.snapshot),
+            route: slot.route.clone(),
             generation: slot.generation,
         }
     }
@@ -460,6 +515,26 @@ impl ServerState {
         self.panic_on_task.store(task_id, Ordering::SeqCst);
     }
 
+    /// When a shard route is installed and this server does not own
+    /// `task_id`, builds the retryable `Misrouted` redirect (counted in
+    /// [`ServeMetrics::misroutes`]); `None` means serve the request here.
+    /// Unsharded servers (no route) own everything.
+    fn misroute_redirect(&self, route: Option<&ShardRoute>, task_id: u64) -> Option<Message> {
+        let route = route?;
+        if route.map.owns(task_id, route.self_index) {
+            return None;
+        }
+        self.metrics.misroutes.fetch_add(1, Ordering::Relaxed);
+        Some(Message::Error {
+            code: ErrorCode::Misrouted,
+            detail: format!(
+                "task {task_id} is not owned by shard {} at epoch {}",
+                route.self_index,
+                route.map.epoch()
+            ),
+        })
+    }
+
     /// The protocol's request → response function.
     pub fn respond(&self, request: &Message) -> Message {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
@@ -474,21 +549,31 @@ impl ServerState {
                     let _guard = self.published_lock();
                     panic!("chaos hook: injected handler panic for task {task_id}");
                 }
-                let payload = self
-                    .prior_view()
-                    .snapshot
-                    .get(task_id)
-                    .map(|e| Arc::clone(&e.payload));
-                match payload {
-                    Some(p) => Message::PriorResponse {
-                        payload: p.as_ref().clone(),
-                    },
-                    None => Message::Error {
-                        code: ErrorCode::UnknownTask,
-                        detail: format!("no prior registered for task {task_id}"),
-                    },
+                let view = self.prior_view();
+                if let Some(redirect) = self.misroute_redirect(view.route.as_deref(), *task_id) {
+                    redirect
+                } else {
+                    let payload = view.snapshot.get(task_id).map(|e| Arc::clone(&e.payload));
+                    match payload {
+                        Some(p) => Message::PriorResponse {
+                            payload: p.as_ref().clone(),
+                        },
+                        None => Message::Error {
+                            code: ErrorCode::UnknownTask,
+                            detail: format!("no prior registered for task {task_id}"),
+                        },
+                    }
                 }
             }
+            Message::ShardMapRequest => match self.shard_route() {
+                Some(route) => Message::ShardMapResponse {
+                    map: route.map.wire().clone(),
+                },
+                None => Message::Error {
+                    code: ErrorCode::Unexpected,
+                    detail: "this server is not part of a sharded plane".into(),
+                },
+            },
             Message::ModelReport { task_id, params } => {
                 self.reports_lock().push(ReportedModel {
                     task_id: *task_id,
@@ -545,17 +630,42 @@ impl ServerState {
                     panic!("chaos hook: injected handler panic for task {task_id}");
                 }
                 self.refresh_view(view);
-                match view.snapshot.get(&task_id) {
-                    Some(entry) => {
-                        self.metrics.prior_cache_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(redirect) = self.misroute_redirect(view.route.as_deref(), task_id) {
+                    self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    ResponseBytes::Owned(frame::encode(&redirect))
+                } else {
+                    match view.snapshot.get(&task_id) {
+                        Some(entry) => {
+                            self.metrics.prior_cache_hits.fetch_add(1, Ordering::Relaxed);
+                            self.metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
+                            ResponseBytes::Cached(Arc::clone(&entry.frame))
+                        }
+                        None => {
+                            self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                            ResponseBytes::Owned(frame::encode(&Message::Error {
+                                code: ErrorCode::UnknownTask,
+                                detail: format!("no prior registered for task {task_id}"),
+                            }))
+                        }
+                    }
+                }
+            }
+            Ok(MessageRef::ShardMapRequest) => {
+                // Map fetches ride the same zero-copy cache as prior hits:
+                // one atomic generation check, then a shared reference to
+                // the frame encoded at route-publication time.
+                self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                self.refresh_view(view);
+                match view.route.as_ref() {
+                    Some(route) => {
                         self.metrics.responses_ok.fetch_add(1, Ordering::Relaxed);
-                        ResponseBytes::Cached(Arc::clone(&entry.frame))
+                        ResponseBytes::Cached(Arc::clone(&route.frame))
                     }
                     None => {
                         self.metrics.errors.fetch_add(1, Ordering::Relaxed);
                         ResponseBytes::Owned(frame::encode(&Message::Error {
-                            code: ErrorCode::UnknownTask,
-                            detail: format!("no prior registered for task {task_id}"),
+                            code: ErrorCode::Unexpected,
+                            detail: "this server is not part of a sharded plane".into(),
                         }))
                     }
                 }

@@ -57,6 +57,13 @@ pub trait Connector {
 
     /// Establishes a fresh connection.
     fn connect(&mut self) -> Result<Self::Transport>;
+
+    /// Informs the connector that an attempt just failed with a retryable
+    /// error, before the retry loop sleeps and reconnects. Routing
+    /// connectors use this to fail over to the next replica (or refresh
+    /// their shard map on a [`ServeError::Misrouted`] redirect); plain
+    /// connectors ignore it.
+    fn note_retryable_error(&mut self, _error: &ServeError) {}
 }
 
 // ---------------------------------------------------------------------------

@@ -89,9 +89,10 @@ fn every_single_byte_corruption_is_caught() {
 
 #[test]
 fn control_plane_kinds_round_trip_and_reject_every_single_byte_corruption() {
-    // The load-shedding and health kinds (5 Busy, 6 Health, 7 HealthReport)
-    // get the same guarantee as the data plane: clean frames round-trip,
-    // and any single-byte corruption is caught by the length check or CRC.
+    // The load-shedding, health, and shard-routing kinds (5 Busy, 6 Health,
+    // 7 HealthReport, 8 ShardMapRequest, 9 ShardMapResponse) get the same
+    // guarantee as the data plane: clean frames round-trip, and any
+    // single-byte corruption is caught by the length check or CRC.
     let messages = [
         Message::Busy { retry_after_ms: 25 },
         Message::Health,
@@ -101,6 +102,20 @@ fn control_plane_kinds_round_trip_and_reject_every_single_byte_corruption() {
             shed_connections: 41,
             worker_panics: 1,
         }),
+        Message::ShardMapRequest,
+        Message::ShardMapResponse {
+            map: dre_serve::ShardMapWire {
+                epoch: 12,
+                seed: 7_400,
+                replication: 2,
+                virtual_nodes: 64,
+                shards: vec![
+                    "127.0.0.1:9001".parse().unwrap(),
+                    "10.1.2.3:9002".parse().unwrap(),
+                    "[::1]:9003".parse().unwrap(),
+                ],
+            },
+        },
     ];
     for msg in &messages {
         let framed = frame::encode(msg);
@@ -110,6 +125,10 @@ fn control_plane_kinds_round_trip_and_reject_every_single_byte_corruption() {
             }
             (Message::Health, Message::Health) => {}
             (Message::HealthReport(h), Message::HealthReport(back)) => assert_eq!(*h, back),
+            (Message::ShardMapRequest, Message::ShardMapRequest) => {}
+            (Message::ShardMapResponse { map }, Message::ShardMapResponse { map: back }) => {
+                assert_eq!(*map, back)
+            }
             (_, other) => panic!("{} decoded as {}", msg.kind_name(), other.kind_name()),
         }
         for pos in 0..framed.len() {
@@ -132,6 +151,38 @@ fn control_plane_kinds_round_trip_and_reject_every_single_byte_corruption() {
             }
         }
     }
+}
+
+#[test]
+fn shard_map_version_skew_stays_fatal_but_crc_corruption_stays_retryable() {
+    let framed = frame::encode(&Message::ShardMapResponse {
+        map: dre_serve::ShardMapWire {
+            epoch: 3,
+            seed: 99,
+            replication: 1,
+            virtual_nodes: 16,
+            shards: vec!["127.0.0.1:9001".parse().unwrap()],
+        },
+    });
+    // A flipped version byte without a matching CRC is corruption in
+    // transit: retryable, never a fatal VersionMismatch.
+    let mut corrupted = framed.clone();
+    corrupted[4] ^= 0x01;
+    let err = frame::decode(&corrupted).unwrap_err();
+    assert!(matches!(err, ServeError::ChecksumMismatch { .. }), "{err}");
+    assert!(err.is_retryable());
+    // Genuine skew — version byte rewritten *and* CRC recomputed — is a
+    // real protocol disagreement: fatal.
+    let mut v2 = framed.clone();
+    v2[4] = 2;
+    let crc = dre_serve::Crc32::new()
+        .update(&v2[4..6])
+        .update(&v2[10..])
+        .finalize();
+    v2[6..10].copy_from_slice(&crc.to_le_bytes());
+    let err = frame::decode(&v2).unwrap_err();
+    assert!(matches!(err, ServeError::VersionMismatch { .. }), "{err}");
+    assert!(!err.is_retryable());
 }
 
 #[test]

@@ -1,15 +1,17 @@
 //! A real cloud↔edge serving fleet on loopback TCP — including the part
-//! where the cloud *dies*. The cloud fits a DP prior and serves it; N
-//! devices run the graceful-degradation `EdgeRuntime` (circuit breaker,
-//! stale-prior cache, local-ERM fallback) through fetch→fit→report
-//! rounds. Mid-run the server is killed, the fleet rides the degradation
-//! ladder (watch the per-device mode tags walk fresh → stale → local and
-//! the breakers trip), then the server restarts on the same port and the
-//! fleet recovers. The fleet runs keep-alive clients — each device holds
-//! one stream across its rounds, and after the crash the dead stream is
-//! just another retryable failure: the next attempt reconnects fresh.
-//! Byte counts are *measured* frame sizes, the same numbers the
-//! `dre-edgesim` simulator charges.
+//! where a shard *dies*. The cloud fits a DP prior and registers it on a
+//! 3-shard, replication-2 `ShardedPriorPlane`; N devices run the
+//! graceful-degradation `EdgeRuntime` through fetch→fit→report rounds,
+//! each routing its keep-alive stream straight to the task's primary
+//! shard through a `ShardConnector`. Mid-run the primary is killed — but
+//! unlike the single-server fleet of earlier revisions, nobody walks the
+//! degradation ladder: the dead stream is just another retryable
+//! failure, the connector fails over to the replica inside the ordinary
+//! retry loop, and every round stays a fresh-prior DRO fit. The primary
+//! then restarts (the plane replays its payloads) and the per-shard and
+//! failover counters at the end show exactly who served what. Byte
+//! counts are *measured* frame sizes, the same numbers the `dre-edgesim`
+//! simulator charges.
 //!
 //! ```sh
 //! cargo run -p dre-integration --example serve_fleet --release [fleet_size]
@@ -20,12 +22,13 @@ use std::time::Duration;
 use dre_data::{TaskFamily, TaskFamilyConfig};
 use dre_prob::seeded_rng;
 use dre_serve::{
-    frame, BreakerConfig, BreakerState, EdgeRuntime, EdgeRuntimeConfig, PriorServer, RetryPolicy,
-    ServeConfig, TcpConnector,
+    frame, BreakerConfig, BreakerState, EdgeRuntime, EdgeRuntimeConfig, RetryPolicy, ServeConfig,
+    ShardConnector, ShardPlaneConfig, ShardedPriorPlane,
 };
 use dro_edge::{CloudKnowledge, EdgeLearnerConfig};
 
 const TASK_ID: u64 = 1;
+const SHARDS: usize = 3;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fleet_size: usize = std::env::args()
@@ -34,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .transpose()?
         .unwrap_or(8);
 
-    // ── Cloud side: fit the DP prior and start serving it ──────────────
+    // ── Cloud side: fit the DP prior and shard the serving plane ───────
     let mut rng = seeded_rng(7177);
     let family = TaskFamily::generate(
         &TaskFamilyConfig {
@@ -49,23 +52,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let k = prior.num_components();
     let dim = family.config().dim;
 
-    let serve_config = ServeConfig {
-        read_timeout: Some(Duration::from_secs(2)),
-        write_timeout: Some(Duration::from_secs(2)),
-        ..ServeConfig::default()
-    };
-    let mut server = PriorServer::bind("127.0.0.1:0", serve_config.clone())?;
-    server.register_prior(TASK_ID, &prior);
-    let addr = server.addr();
+    let mut plane = ShardedPriorPlane::bind(ShardPlaneConfig {
+        shards: SHARDS,
+        replication: 2,
+        serve: ServeConfig {
+            read_timeout: Some(Duration::from_secs(2)),
+            write_timeout: Some(Duration::from_secs(2)),
+            ..ServeConfig::default()
+        },
+        ..ShardPlaneConfig::default()
+    })?;
+    // Fans out to both replicas; the frames on every replica are
+    // byte-identical, so a failover client cannot tell who answered.
+    plane.register_prior(TASK_ID, &prior);
+    let owners = plane.shard_map().owners(TASK_ID);
+    let (primary, replica) = (owners[0], owners[1]);
 
     let request_frame = frame::prior_request_frame_len();
     let response_frame = frame::prior_response_frame_len(k, dim + 1);
-    println!("prior server on {addr}: task {TASK_ID}, K = {k}, parameter dim = {}", dim + 1);
+    let map_frame = frame::shard_map_response_frame_len(SHARDS);
     println!(
-        "measured frames: PriorRequest = {request_frame} B, PriorResponse = {response_frame} B\n"
+        "sharded prior plane: {SHARDS} shards, replication 2, epoch {}",
+        plane.epoch()
+    );
+    for (i, addr) in plane.addrs().iter().enumerate() {
+        let role = if i == primary {
+            "  <- primary for task 1"
+        } else if i == replica {
+            "  <- replica for task 1"
+        } else {
+            ""
+        };
+        println!("  shard {i} on {addr}{role}");
+    }
+    println!(
+        "measured frames: PriorRequest = {request_frame} B, PriorResponse = {response_frame} B, \
+         ShardMapResponse = {map_frame} B\n"
     );
 
-    // ── Edge side: a fleet of graceful-degradation runtimes ────────────
+    // ── Edge side: a fleet of shard-routed degradation runtimes ────────
     let runtime_config = EdgeRuntimeConfig {
         task_id: TASK_ID,
         learner: EdgeLearnerConfig {
@@ -82,31 +107,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         stale_ttl: 2,
         report_models: true,
-        // One persistent stream per device: steady-state fetches reuse it
-        // (and hit the server's pre-encoded frame cache); the crash below
-        // shows reconnect folding into the ordinary retry path.
+        // One persistent stream per device, parked on whichever owner the
+        // connector last dialed; the shard kill below shows the replica
+        // failover folding into the fetch's ordinary retry path.
         keep_alive: true,
     };
     let policy = RetryPolicy {
-        max_attempts: 2,
+        max_attempts: 3,
         base_backoff: Duration::from_millis(1),
         max_backoff: Duration::from_millis(8),
         jitter_seed: 7,
     };
+    let directory = plane.directory();
     let mut fleet: Vec<_> = (0..fleet_size)
         .map(|i| {
             let mut rng = seeded_rng(31_000 + i as u64);
             let task = family.sample_task(&mut rng);
             let train = task.generate(30, &mut rng);
-            let rt = EdgeRuntime::new(TcpConnector::new(addr), policy.clone(), runtime_config.clone());
+            let connector = ShardConnector::new(std::sync::Arc::clone(&directory), TASK_ID);
+            let rt = EdgeRuntime::new(connector, policy.clone(), runtime_config.clone());
             (train, rt)
         })
         .collect();
 
-    // ── fetch→fit→report rounds, with a mid-run cloud crash ────────────
-    // Rounds 0–1 healthy, crash before round 2, restart before round 5.
+    // ── fetch→fit→report rounds, with a mid-run shard kill ─────────────
+    // Rounds 0–1 healthy, primary killed before round 2, restarted (and
+    // its payloads replayed) before round 5.
     let rounds = 7usize;
-    let mut restarted: Option<dre_serve::ServerHandle> = None;
     print!("{:<28}", "round");
     for dev in 0..fleet_size {
         print!("{:>12}", format!("dev{dev}"));
@@ -114,25 +141,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     for round in 0..rounds {
         if round == 2 {
-            server.shutdown();
-            println!("-- server killed ({addr} refuses connections) --");
+            plane.kill_shard(primary);
+            println!(
+                "-- shard {primary} (primary) killed; replica {replica} keeps serving task 1 --"
+            );
         }
         if round == 5 {
-            // Same port: the fleet's cached address stays valid.
-            let mut s = None;
-            for _ in 0..100 {
-                match PriorServer::bind(&addr.to_string(), serve_config.clone()) {
-                    Ok(bound) => {
-                        s = Some(bound);
-                        break;
-                    }
-                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
-                }
-            }
-            let s = s.expect("could not rebind the server port");
-            s.register_prior(TASK_ID, &prior);
-            restarted = Some(s);
-            println!("-- server restarted on {addr} --");
+            // Same port: the map is unchanged, so no epoch bump is needed
+            // and warm clients keep their routes.
+            plane.restart_shard(primary)?;
+            println!("-- shard {primary} restarted on its original port, payloads replayed --");
         }
         print!("{:<28}", format!("round {round} mode (breaker)"));
         for (train, rt) in fleet.iter_mut() {
@@ -148,24 +166,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!();
     }
 
-    // ── What the ladder did, per device ────────────────────────────────
-    println!("\n{:<8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>7} {:>9} {:>9}",
-        "device", "fresh", "stale", "local", "opens", "closes", "conns", "reused", "bytes-in", "bytes-out");
+    // ── What the fleet did, per device ─────────────────────────────────
+    println!(
+        "\n{:<8} {:>6} {:>6} {:>6} {:>7} {:>6} {:>7} {:>9} {:>9}",
+        "device", "fresh", "stale", "local", "opens", "conns", "reused", "bytes-in", "bytes-out"
+    );
     for (dev, (_, rt)) in fleet.iter().enumerate() {
         let c = rt.counters();
         let m = rt.client().metrics();
         println!(
-            "{dev:<8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>6} {:>7} {:>9} {:>9}",
+            "{dev:<8} {:>6} {:>6} {:>6} {:>7} {:>6} {:>7} {:>9} {:>9}",
             c.fresh_fits,
             c.stale_fits,
             c.local_only_fits,
             rt.breaker().opens(),
-            rt.breaker().closes(),
             m.connections,
             m.reused_connections,
             m.bytes_in,
             m.bytes_out,
         );
+        // The replica absorbed the outage: no stale fits, no local
+        // fallbacks, no breaker trips — every round was fresh DRO.
+        assert_eq!(c.fresh_fits, rounds as u64);
+        assert_eq!(c.stale_fits + c.local_only_fits, 0);
+        assert_eq!(rt.breaker().opens(), 0);
         assert_eq!(rt.breaker().state(), BreakerState::Closed);
         assert!(
             m.reused_connections > 0,
@@ -173,25 +197,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // ── Transfer metrics, as the restarted server saw them ─────────────
-    let mut restarted = restarted.expect("server restarts at round 5");
-    let m = restarted.metrics();
-    println!("\nrestarted-server metrics:\n{m}");
+    // ── Who served what: per-shard and failover counters ───────────────
     println!(
-        "\nNo device ever failed a round: while the cloud was down they fit\n\
-         on the stale cached prior (TTL 2 rounds) and then pure local ERM,\n\
-         and every breaker re-closed after the restart. `conns` counts\n\
-         dials and `reused` the exchanges that rode an already-open\n\
-         stream; a dial above 1 per server lifetime is the server's 2 s\n\
-         idle timeout reaping a parked stream between slow fleet rounds —\n\
-         the reconnect folds into the fetch's ordinary retry path, which\n\
-         is the whole point. Prior fetches were served from the\n\
-         pre-encoded frame cache ({} hits). Every byte above was measured\n\
-         on the wire — compare `prior_transfer_bytes({k}, {dim})` = {}\n\
-         in the simulator.",
-        m.prior_cache_hits,
+        "\n{:<8} {:>9} {:>9} {:>11} {:>10}",
+        "shard", "requests", "ok", "cache-hits", "misroutes"
+    );
+    for i in 0..SHARDS {
+        let m = plane.shard_metrics(i).expect("shard is live");
+        let role = if i == primary {
+            "  (primary, killed+restarted)"
+        } else if i == replica {
+            "  (replica, absorbed failover)"
+        } else {
+            ""
+        };
+        println!(
+            "{i:<8} {:>9} {:>9} {:>11} {:>10}{role}",
+            m.requests, m.responses_ok, m.prior_cache_hits, m.misroutes
+        );
+    }
+    println!(
+        "(a restarted shard starts fresh counters; rounds 0-1 were served by shard \
+         {primary}'s previous incarnation)"
+    );
+    let routing = directory.metrics().snapshot();
+    let fanouts = plane.metrics().replica_fanouts;
+    println!(
+        "\nrouting: {} replica failovers, {} map refreshes, {} replica fan-out writes",
+        routing.shard_failovers, routing.map_refreshes, fanouts
+    );
+    assert!(
+        routing.shard_failovers >= fleet_size as u64,
+        "every device's first fetch after the kill must fail over once"
+    );
+
+    println!(
+        "\nNo device ever left fresh-prior DRO: when the primary died the\n\
+         ShardConnector treated the dead stream as a retryable failure and\n\
+         re-dialed the replica — same frames, byte-identical prior, zero\n\
+         rungs of the degradation ladder spent. `conns` counts dials and\n\
+         `reused` the exchanges that rode an already-open stream. Every\n\
+         byte above was measured on the wire — compare\n\
+         `prior_transfer_bytes({k}, {dim})` = {} in the simulator.",
         dre_edgesim::prior_transfer_bytes(k, dim),
     );
-    restarted.shutdown();
+    plane.shutdown();
     Ok(())
 }

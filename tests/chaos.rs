@@ -158,7 +158,7 @@ struct FleetOutcome {
     /// Per-device runtime counters.
     counters: Vec<dre_serve::RuntimeCounters>,
     /// Per-device client-side deterministic transfer counters.
-    client_counters: Vec<[u64; 16]>,
+    client_counters: Vec<[u64; 20]>,
     /// Per-device injected-fault counts.
     fault_counts: Vec<dre_serve::FaultCounts>,
     /// Mean held-out accuracy over devices, per round.
@@ -390,6 +390,109 @@ fn chaos_fleets_are_bit_identical_across_runs_at_fixed_seeds() {
             );
         }
     }
+}
+
+#[test]
+fn sharded_fleet_survives_shard_kill_and_rebalance_bit_identically() {
+    // The resharding chaos ladder: primary shard killed mid-fleet (clients
+    // fail over to the replica), then a rebalance moves ownership under a
+    // stale client map (redirects re-route it), then the dead shard
+    // restarts and replays its payloads. Through all of it every fit must
+    // stay FreshPrior at the healthy accuracy, and two runs of the whole
+    // scenario at fixed seeds must agree bit-for-bit.
+    let sc = scenario();
+    let run = || {
+        let mut plane = dre_serve::ShardedPriorPlane::bind(dre_serve::ShardPlaneConfig {
+            shards: 3,
+            replication: 2,
+            serve: ServeConfig {
+                read_timeout: Some(Duration::from_secs(2)),
+                write_timeout: Some(Duration::from_secs(2)),
+                ..ServeConfig::default()
+            },
+            ..dre_serve::ShardPlaneConfig::default()
+        })
+        .unwrap();
+        plane.register_payload(TASK_ID, sc.prior_payload.clone());
+        let owners = plane.shard_map().owners(TASK_ID);
+        let directory = plane.directory();
+
+        let mut fleet: Vec<_> = (0..2)
+            .map(|dev| {
+                let policy = RetryPolicy {
+                    max_attempts: 4,
+                    base_backoff: Duration::from_millis(1),
+                    max_backoff: Duration::from_millis(4),
+                    jitter_seed: 23 + dev as u64,
+                };
+                EdgeRuntime::new(
+                    dre_serve::ShardConnector::new(Arc::clone(&directory), TASK_ID),
+                    policy,
+                    runtime_config(),
+                )
+            })
+            .collect();
+
+        let round = |fleet: &mut Vec<EdgeRuntime<dre_serve::ShardConnector>>| -> f64 {
+            let mut acc = 0.0;
+            for (dev, rt) in fleet.iter_mut().enumerate() {
+                let data = &sc.devices[dev];
+                let fit = rt.fit_step(&data.train).unwrap();
+                acc += metrics::accuracy(&fit.model, data.test.features(), data.test.labels())
+                    .unwrap();
+            }
+            acc / 2.0
+        };
+
+        let mut accs = Vec::new();
+        accs.push(round(&mut fleet)); // healthy: direct to the primary
+        plane.kill_shard(owners[0]); // primary dies; the map stays put
+        accs.push(round(&mut fleet)); // failover to the replica
+        accs.push(round(&mut fleet)); // replica keeps serving
+        plane.add_shard().unwrap(); // rebalance: epoch bump + replay
+        accs.push(round(&mut fleet)); // stale map re-routes via redirect
+        plane.restart_shard(owners[0]).unwrap(); // heal: replay owned priors
+        accs.push(round(&mut fleet));
+
+        let traces: Vec<Vec<FitMode>> =
+            fleet.iter().map(|rt| rt.mode_trace().to_vec()).collect();
+        let counters: Vec<[u64; 20]> = fleet
+            .iter()
+            .map(|rt| rt.client().metrics().deterministic_counters())
+            .collect();
+        let retries: u64 = fleet.iter().map(|rt| rt.client().metrics().retries).sum();
+        let routing = directory.metrics().snapshot();
+        plane.shutdown();
+        (
+            traces,
+            accs,
+            counters,
+            retries,
+            (routing.shard_failovers, routing.map_refreshes),
+        )
+    };
+
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "the resharding chaos scenario is not deterministic");
+
+    let (traces, accs, _counters, retries, (failovers, _refreshes)) = a;
+    // The ladder never degraded: failover and re-routing kept every fit
+    // fresh, at exactly the healthy accuracy.
+    for (dev, trace) in traces.iter().enumerate() {
+        assert_eq!(trace.len(), 5, "device {dev}");
+        assert!(
+            trace.iter().all(|m| *m == FitMode::FreshPrior),
+            "device {dev} degraded through resharding: {trace:?}"
+        );
+    }
+    for (r, acc) in accs.iter().enumerate() {
+        assert_eq!(*acc, accs[0], "round {r} accuracy drifted across resharding");
+    }
+    // The adverse paths actually ran: the dead primary cost retries and
+    // replica failovers.
+    assert!(retries >= 1, "killing the primary must cost at least one retry");
+    assert!(failovers >= 1, "replica failover was never exercised");
 }
 
 #[test]

@@ -574,3 +574,261 @@ fn pipelined_burst_is_answered_in_order_with_coalesced_writes() {
     );
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Sharded prior plane
+// ---------------------------------------------------------------------------
+
+/// A fast retry policy for shard failover tests.
+fn fast_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(4),
+        jitter_seed: seed,
+    }
+}
+
+#[test]
+fn sharded_plane_routes_every_task_to_its_owner() {
+    let mut plane = dre_serve::ShardedPriorPlane::bind(dre_serve::ShardPlaneConfig {
+        shards: 3,
+        replication: 2,
+        ..dre_serve::ShardPlaneConfig::default()
+    })
+    .unwrap();
+    const TASKS: u64 = 12;
+    for task in 0..TASKS {
+        plane.register_payload(task, vec![task as u8; 16]);
+    }
+
+    let directory = plane.directory();
+    for task in 0..TASKS {
+        let mut client = directory.client_for(task, fast_policy(task));
+        assert_eq!(
+            client.fetch_prior_payload(task).unwrap(),
+            vec![task as u8; 16]
+        );
+        let m = client.metrics();
+        assert_eq!(m.retries, 0, "a routed fetch must land first try");
+        assert_eq!(m.errors, 0);
+    }
+
+    // Direct routing means zero redirects and zero failovers anywhere…
+    let routing = directory.metrics().snapshot();
+    assert_eq!(routing.shard_failovers, 0);
+    assert_eq!(routing.map_refreshes, 0);
+    let mut cache_hits = 0;
+    for i in 0..3 {
+        let m = plane.shard_metrics(i).unwrap();
+        assert_eq!(m.misroutes, 0, "shard {i} saw a misroute");
+        cache_hits += m.prior_cache_hits;
+    }
+    // …and every fetch was served from an owner's pre-encoded frame cache.
+    assert_eq!(cache_hits, TASKS);
+
+    // Any member serves the epoch-stamped map, byte-equal across shards.
+    let maps: Vec<_> = (0..3)
+        .map(|i| {
+            let mut c = PriorClient::new(
+                TcpConnector::new(plane.addrs()[i]),
+                RetryPolicy::no_retries(),
+            );
+            c.fetch_shard_map().unwrap()
+        })
+        .collect();
+    assert_eq!(maps[0].epoch, plane.epoch());
+    assert_eq!(maps[0], maps[1]);
+    assert_eq!(maps[1], maps[2]);
+
+    plane.shutdown();
+}
+
+#[test]
+fn misrouted_request_is_a_retryable_redirect_and_recovers_in_one_retry() {
+    // Replication 1: every task has exactly one owner, so a request sent
+    // to any other shard is a guaranteed misroute.
+    let mut plane = dre_serve::ShardedPriorPlane::bind(dre_serve::ShardPlaneConfig {
+        shards: 2,
+        replication: 1,
+        ..dre_serve::ShardPlaneConfig::default()
+    })
+    .unwrap();
+    plane.register_payload(TASK_ID, vec![7; 8]);
+    let owner = plane.shard_map().owners(TASK_ID)[0];
+    let wrong = 1 - owner;
+
+    // Hitting the wrong shard directly: the reply is a retryable
+    // Misrouted redirect — not a fatal UnknownTask.
+    let mut naive = PriorClient::new(
+        TcpConnector::new(plane.addrs()[wrong]),
+        RetryPolicy::no_retries(),
+    );
+    match naive.fetch_prior_payload(TASK_ID).unwrap_err() {
+        dre_serve::ServeError::RetriesExhausted { last, .. } => {
+            assert!(
+                matches!(*last, dre_serve::ServeError::Misrouted { task_id, .. }
+                    if task_id == TASK_ID),
+                "expected a Misrouted redirect, got {last}"
+            );
+            assert!(last.is_retryable(), "a redirect must be retryable");
+        }
+        other => panic!("expected RetriesExhausted over Misrouted, got {other}"),
+    }
+    assert_eq!(plane.shard_metrics(wrong).unwrap().misroutes, 1);
+
+    // A routed client holding a stale map recovers within one retry: the
+    // redirect triggers a map refresh, and the retry lands on the new
+    // owner. Build the stale directory first, then rebalance underneath
+    // it until the old owner genuinely loses the task.
+    let stale = plane.directory();
+    let mut moved_task = None;
+    for task in 0..256u64 {
+        plane.register_payload(task, vec![task as u8; 4]);
+    }
+    let _added = plane.add_shard().unwrap();
+    for task in 0..256u64 {
+        let old_owner = stale.map().owners(task)[0];
+        if !plane.shard_map().owners(task).contains(&old_owner) {
+            moved_task = Some(task);
+            break;
+        }
+    }
+    let task = moved_task.expect("rebalancing 256 tasks must move at least one");
+
+    let mut client = stale.client_for(task, fast_policy(99));
+    let misroutes_before: u64 = (0..plane.addrs().len())
+        .filter_map(|i| plane.shard_metrics(i))
+        .map(|m| m.misroutes)
+        .sum();
+    assert_eq!(client.fetch_prior_payload(task).unwrap(), vec![task as u8; 4]);
+    // Exact accounting: one redirect served, one map refresh, one retry,
+    // zero replica failovers, and the fetch still succeeded cleanly.
+    let m = client.metrics();
+    assert_eq!(m.retries, 1, "recovery must take exactly one retry");
+    assert_eq!(m.responses_ok, 1);
+    assert_eq!(m.errors, 0);
+    let routing = stale.metrics().snapshot();
+    assert_eq!(routing.map_refreshes, 1);
+    assert_eq!(routing.shard_failovers, 0);
+    let misroutes_after: u64 = (0..plane.addrs().len())
+        .filter_map(|i| plane.shard_metrics(i))
+        .map(|m| m.misroutes)
+        .sum();
+    assert_eq!(misroutes_after, misroutes_before + 1);
+    assert_eq!(stale.epoch(), plane.epoch(), "the refresh adopted the new map");
+
+    // The stream re-routed: follow-up fetches are direct, no new retries.
+    assert_eq!(client.fetch_prior_payload(task).unwrap(), vec![task as u8; 4]);
+    assert_eq!(client.metrics().retries, 1);
+
+    plane.shutdown();
+}
+
+#[test]
+fn routed_client_fails_over_to_the_replica_when_the_primary_dies() {
+    let mut plane = dre_serve::ShardedPriorPlane::bind(dre_serve::ShardPlaneConfig {
+        shards: 3,
+        replication: 2,
+        serve: ServeConfig {
+            read_timeout: Some(Duration::from_secs(2)),
+            write_timeout: Some(Duration::from_secs(2)),
+            ..ServeConfig::default()
+        },
+        ..dre_serve::ShardPlaneConfig::default()
+    })
+    .unwrap();
+    plane.register_payload(TASK_ID, vec![42; 24]);
+    let owners = plane.shard_map().owners(TASK_ID);
+
+    let directory = plane.directory();
+    let mut client = directory.client_for(TASK_ID, fast_policy(17));
+    assert_eq!(client.fetch_prior_payload(TASK_ID).unwrap(), vec![42; 24]);
+
+    // Kill the primary: the next fetch fails over to the replica inside
+    // the retry budget, counting exactly one failover.
+    plane.kill_shard(owners[0]);
+    assert_eq!(client.fetch_prior_payload(TASK_ID).unwrap(), vec![42; 24]);
+    let m = client.metrics();
+    assert!(m.retries >= 1, "failover must cost at least one retry");
+    assert_eq!(m.errors, 0);
+    let routing = directory.metrics().snapshot();
+    assert!(routing.shard_failovers >= 1, "failover must be counted");
+    assert_eq!(routing.map_refreshes, 0, "a dead shard is not a misroute");
+    // The replica served the fetch from its byte-identical frame cache.
+    assert!(plane.shard_metrics(owners[1]).unwrap().prior_cache_hits >= 1);
+
+    // Restarting the primary replays its payloads; the plane heals.
+    plane.restart_shard(owners[0]).unwrap();
+    let entry = plane
+        .handle(owners[0])
+        .unwrap()
+        .state()
+        .prior_entry(TASK_ID)
+        .expect("restart must replay owned payloads");
+    assert_eq!(*entry.payload, vec![42; 24]);
+
+    plane.shutdown();
+}
+
+#[test]
+fn default_sized_plane_is_hit_clean_at_any_membership() {
+    // CI drives this suite across DRE_SERVE_SHARDS ∈ {1, 4} (crossed with
+    // DRE_SERVE_WORKERS ∈ {1, 4}): whatever plane size the environment
+    // picks, a default-config plane must route every fetch straight to an
+    // owner — zero retries, zero failovers, zero misroutes.
+    let shards = dre_serve::default_shards().max(1);
+    let mut plane =
+        dre_serve::ShardedPriorPlane::bind(dre_serve::ShardPlaneConfig::default()).unwrap();
+    assert_eq!(plane.addrs().len(), shards);
+
+    const TASKS: u64 = 8;
+    for task in 0..TASKS {
+        plane.register_payload(task, vec![task as u8 ^ 0x5A; 24]);
+    }
+    let directory = plane.directory();
+    for task in 0..TASKS {
+        let mut client = directory.client_for(task, fast_policy(task));
+        assert_eq!(
+            client.fetch_prior_payload(task).unwrap(),
+            vec![task as u8 ^ 0x5A; 24]
+        );
+        let m = client.metrics();
+        assert_eq!(m.retries, 0, "task {task} needed a retry on a healthy plane");
+        assert_eq!(m.errors, 0);
+    }
+    let routing = directory.metrics().snapshot();
+    assert_eq!(routing.shard_failovers, 0);
+    assert_eq!(routing.map_refreshes, 0);
+    let mut cache_hits = 0;
+    for i in 0..shards {
+        let m = plane.shard_metrics(i).unwrap();
+        assert_eq!(m.misroutes, 0, "shard {i} saw a misroute");
+        cache_hits += m.prior_cache_hits;
+    }
+    assert_eq!(cache_hits, TASKS);
+    plane.shutdown();
+}
+
+#[test]
+fn unsharded_server_rejects_shard_map_requests_as_unexpected() {
+    let mut server = PriorServer::bind("127.0.0.1:0", ServeConfig::default()).unwrap();
+    let mut client = PriorClient::new(
+        TcpConnector::new(server.addr()),
+        RetryPolicy::no_retries(),
+    );
+    let err = client.fetch_shard_map().unwrap_err();
+    assert!(
+        matches!(
+            err,
+            dre_serve::ServeError::Remote {
+                code: dre_serve::ErrorCode::Unexpected,
+                ..
+            }
+        ),
+        "an unsharded server must answer map requests with a fatal error, got {err}"
+    );
+    // The server survives; normal traffic continues.
+    client.ping().unwrap();
+    server.shutdown();
+}
