@@ -491,8 +491,11 @@ fn delete_cluster<T>(clusters: &mut Vec<T>, assignments: &mut [usize], old: usiz
 
 /// Posterior-expected covariance `E[Σ] = Ψ / (ν − d − 1)`, widened to the
 /// predictive scale when the degrees of freedom are too small for the mean
-/// to exist.
-fn expected_covariance(niw: &NormalInverseWishart) -> Result<Matrix> {
+/// to exist. Public because the streaming learner (`dre-learner`) collapses
+/// its particle ensemble with the *same* rule as
+/// [`DpNiwGibbs::to_mixture_prior`], so refreshed priors are formula-
+/// identical to a from-scratch refit.
+pub fn expected_covariance(niw: &NormalInverseWishart) -> Result<Matrix> {
     let d = niw.dim() as f64;
     let denom = niw.nu0() - d - 1.0;
     if denom > 0.0 {

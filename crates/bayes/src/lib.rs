@@ -45,7 +45,7 @@ mod variational;
 pub use concentration::ConcentrationPrior;
 pub use crp::Crp;
 pub use error::BayesError;
-pub use gibbs::{DpNiwGibbs, GibbsCacheStats, GibbsConfig, GibbsResult};
+pub use gibbs::{expected_covariance, DpNiwGibbs, GibbsCacheStats, GibbsConfig, GibbsResult};
 pub use mixture::{MixtureComponent, MixturePrior, QuadraticSurrogate};
 pub use stick_breaking::StickBreaking;
 pub use variational::{VariationalConfig, VariationalDpGmm, VariationalResult};

@@ -26,6 +26,7 @@ use dre_bench::degraded::{
     degraded_scenario, readings_below_floor, run_degraded_rounds, spawn_degraded_fleet,
 };
 use dre_bench::json::JsonValue;
+use dre_learner::{SirConfig, SirDpFilter};
 use dre_linalg::{Cholesky, Matrix};
 use dre_serve::{
     PriorClient, PriorServer, RetryPolicy, ServeConfig, ShardPlaneConfig, ShardedPriorPlane,
@@ -869,6 +870,132 @@ fn main() {
     println!(
         "{name}: healthy {healthy_ms:.2} ms ({rps_healthy:.0} fits/s), degraded \
          {degraded_ms:.2} ms ({rps_degraded:.0} fits/s), readings below floor {diff}"
+    );
+
+    // -- streaming learner refresh: reports/sec through the SIR filter ------
+    // The closed-loop kernel: push a fleet's pooled `ModelReport` vectors
+    // through the SIR particle filter and collapse the ensemble into a
+    // refreshed DP prior. Particles carry their own seeded RNGs, so the
+    // serial and parallel particle loops must produce bit-identical priors
+    // (every differing f64 counts a whole unit into the diff); the
+    // streamed collapse must also agree with an exact collapsed-Gibbs
+    // refit on the same pooled reports — both paths share the collapse
+    // rule, so a matched partition leaves only fp noise under the 1e-6
+    // gate, and a partition mismatch counts whole units.
+    let d = 6;
+    let m = if smoke { 24 } else { 192 };
+    let sir_reports: Vec<Vec<f64>> = {
+        let mut rng = seeded_rng(21);
+        let hi = MvNormal::isotropic(vec![4.0; d], 0.01).expect("valid");
+        let lo = MvNormal::isotropic(vec![-4.0; d], 0.01).expect("valid");
+        (0..m)
+            .map(|i| if i % 2 == 0 { hi.sample(&mut rng) } else { lo.sample(&mut rng) })
+            .collect()
+    };
+    let sir_base =
+        NormalInverseWishart::new(vec![0.0; d], 0.05, Matrix::identity(d), d as f64 + 2.0)
+            .expect("valid base");
+    let sir_cfg = SirConfig {
+        num_particles: 32,
+        alpha: 1.0,
+        ess_fraction: 0.5,
+        seed: 17,
+        ..SirConfig::default()
+    };
+    let stream_refresh = || {
+        let mut filter =
+            SirDpFilter::new(sir_base.clone(), sir_cfg.clone()).expect("valid config");
+        for x in &sir_reports {
+            filter.push(x).expect("push succeeds");
+        }
+        filter.to_mixture_prior().expect("collapse succeeds")
+    };
+    let (par_ms, par_prior) = time_best(3, &stream_refresh);
+    let (ser_ms, ser_prior) = time_best(3, || dre_parallel::with_serial(stream_refresh));
+    let flatten = |p: &MixturePrior| -> Vec<f64> {
+        let mut out = Vec::new();
+        for c in p.components() {
+            out.push(c.weight());
+            out.extend_from_slice(c.mean());
+            out.extend_from_slice(c.cov().as_slice());
+        }
+        out
+    };
+    let (ser_flat, par_flat) = (flatten(&ser_prior), flatten(&par_prior));
+    let bit_mismatches = if ser_flat.len() != par_flat.len() {
+        1.0
+    } else {
+        ser_flat.iter().zip(&par_flat).filter(|(a, b)| a != b).count() as f64
+    };
+    let gibbs = DpNiwGibbs::new(
+        sir_base,
+        GibbsConfig {
+            alpha: 1.0,
+            burn_in: 30,
+            sweeps: 30,
+            alpha_prior: None,
+            exact_recompute: false,
+        },
+    )
+    .expect("valid config");
+    let fit = gibbs.fit(&sir_reports, &mut seeded_rng(99)).expect("fit succeeds");
+    let refit = gibbs
+        .to_mixture_prior(&sir_reports, &fit.assignments)
+        .expect("collapse succeeds");
+    let sorted = |p: &MixturePrior| -> Vec<(f64, Vec<f64>, Matrix)> {
+        let mut out: Vec<_> = p
+            .components()
+            .iter()
+            .map(|c| (c.weight(), c.mean().to_vec(), c.cov()))
+            .collect();
+        out.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .expect("finite weights")
+                .then(a.1[0].partial_cmp(&b.1[0]).expect("finite means"))
+        });
+        out
+    };
+    let refit_divergence = if ser_prior.num_components() != refit.num_components() {
+        (ser_prior.num_components() as f64 - refit.num_components() as f64).abs()
+    } else {
+        sorted(&ser_prior)
+            .iter()
+            .zip(&sorted(&refit))
+            .map(|((wa, ma, ca), (wb, mb, cb))| {
+                (wa - wb)
+                    .abs()
+                    .max(max_abs_diff(ma, mb))
+                    .max(max_abs_diff(ca.as_slice(), cb.as_slice()))
+            })
+            .fold(0.0, f64::max)
+    };
+    let diff = bit_mismatches.max(refit_divergence);
+    let rps_serial = m as f64 / (ser_ms / 1e3);
+    let rps_parallel = m as f64 / (par_ms / 1e3);
+    let name = "learner_refresh_reports_per_sec".to_string();
+    kernels.push(KernelReport {
+        json: JsonValue::object([
+            ("name", JsonValue::from(name.as_str())),
+            ("serial_ms", JsonValue::from(ser_ms)),
+            ("parallel_ms", JsonValue::from(par_ms)),
+            ("speedup", JsonValue::from(ser_ms / par_ms)),
+            ("reports", JsonValue::from(m)),
+            ("particles", JsonValue::from(sir_cfg.num_particles)),
+            ("reports_per_sec_serial", JsonValue::from(rps_serial)),
+            ("reports_per_sec_parallel", JsonValue::from(rps_parallel)),
+            ("refit_divergence", JsonValue::from(refit_divergence)),
+            ("max_abs_diff", JsonValue::from(diff)),
+            ("tolerance", JsonValue::from(1e-6)),
+        ]),
+        name: name.clone(),
+        diff,
+        tolerance: 1e-6,
+        expects_parallelism: true,
+    });
+    println!(
+        "{name}: serial {ser_ms:.2} ms ({rps_serial:.0} reports/s), parallel {par_ms:.2} ms \
+         ({rps_parallel:.0} reports/s), bit mismatches {bit_mismatches}, refit divergence \
+         {refit_divergence:e}"
     );
 
     // -- tolerance gate + report --------------------------------------------

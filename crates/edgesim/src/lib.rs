@@ -58,7 +58,8 @@ mod time;
 pub use event::{Event, EventQueue};
 pub use network::Link;
 pub use scenario::{
-    model_bytes, model_report_bytes, prior_transfer_bytes, raw_data_bytes, shard_map_bytes,
+    model_bytes, model_report_bytes, prior_transfer_bytes, raw_data_bytes, refresh_round_bytes,
+    shard_map_bytes,
     ClientMode, ComputeModel, DeviceReport, DeviceSpec, EnergyModel, RetryModel, Scenario,
     SimReport, Strategy, REQUEST_BYTES,
 };

@@ -279,6 +279,21 @@ pub const fn shard_map_bytes(num_shards: usize) -> u64 {
     dre_serve::frame::shard_map_response_frame_len(num_shards) as u64
 }
 
+/// Total wire bytes one closed-loop refresh round moves between the cloud
+/// and a cohort of `devices` edge devices: every device fetches the
+/// current `components`-component prior (request + response frames),
+/// sends back its fitted `ModelReport`, and receives the one-byte-payload
+/// `Ping` ack the server answers reports with. Each leg is the exact
+/// `dre-serve` frame length, so simulations of streaming-learner
+/// deployments charge the true per-round radio cost.
+pub const fn refresh_round_bytes(devices: usize, components: usize, dim: usize) -> u64 {
+    let per_device = REQUEST_BYTES
+        + prior_transfer_bytes(components, dim)
+        + model_report_bytes(dim)
+        + dre_serve::frame::ping_frame_len() as u64;
+    per_device * devices as u64
+}
+
 /// A cloud–edge deployment scenario over a star topology.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -970,6 +985,48 @@ mod tests {
             };
             let framed = dre_serve::frame::encode(&dre_serve::Message::ShardMapResponse { map });
             assert_eq!(framed.len() as u64, shard_map_bytes(shards));
+        }
+    }
+
+    #[test]
+    fn refresh_round_bytes_sums_the_real_closed_loop_frames() {
+        // One closed-loop round per device is fetch + report + ack; the
+        // helper must charge exactly the four real encoded frame lengths.
+        use dre_serve::frame::encode;
+        use dre_serve::Message;
+
+        let (components, dim) = (3usize, 10usize);
+        // Packed `[w…, b]` models live in `dim + 1` dimensions.
+        let prior = dre_bayes::MixturePrior::new(
+            (0..components)
+                .map(|_| {
+                    (
+                        1.0 / components as f64,
+                        vec![0.0; dim + 1],
+                        dre_linalg::Matrix::identity(dim + 1),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        let fetch = encode(&Message::PriorRequest { task_id: 1 }).len()
+            + encode(&Message::PriorResponse {
+                payload: dro_edge::transfer::serialize_prior(&prior),
+            })
+            .len();
+        let report = encode(&Message::ModelReport {
+            task_id: 1,
+            params: vec![0.0; dim + 1],
+        })
+        .len()
+        + encode(&Message::Ping).len();
+        let per_device = (fetch + report) as u64;
+
+        for devices in [1usize, 5, 25] {
+            assert_eq!(
+                refresh_round_bytes(devices, components, dim),
+                per_device * devices as u64
+            );
         }
     }
 

@@ -1,0 +1,502 @@
+//! The cloud-side refresh loop: drain reported models, fold them into
+//! per-task SIR filters, and periodically collapse the ensembles back into
+//! the served DP prior.
+//!
+//! ```text
+//!  edges ──ModelReport──▶ PriorServer inbox ──take_reports()──▶ CloudLearner
+//!                                                                   │
+//!                              per-task SirDpFilter ◀── absorb ─────┘
+//!                                       │ every refresh_interval reports
+//!                                       ▼
+//!                              to_mixture_prior()
+//!                                       │
+//!  edges ◀──PriorResponse── PriorSink::publish (ServerState / ServerHandle /
+//!                                               ShardedPriorPlane fan-out)
+//! ```
+//!
+//! Publishing goes through [`PriorSink`], so the same learner drives a
+//! single [`PriorServer`](dre_serve::PriorServer) or a whole
+//! [`ShardedPriorPlane`] — the sharded impl fans the refreshed prior out to
+//! every owner replica byte-identically, and keep-alive clients adopt the
+//! new generation via the lock-free snapshot path with zero reconnects.
+//!
+//! Everything is deterministic: tasks refresh in ascending `task_id` order
+//! (a `BTreeMap`), reports fold in arrival order, and the filters are
+//! seeded — the same report sequence always publishes bit-identical priors.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dre_bayes::MixturePrior;
+use dre_prob::NormalInverseWishart;
+use dre_serve::shard::ShardedPriorPlane;
+use dre_serve::{ReportedModel, ServerHandle, ServerState};
+
+use crate::sir::{SirConfig, SirDpFilter};
+use crate::{LearnerError, Result};
+
+/// Where refreshed priors go. Implemented for a raw [`ServerState`], a
+/// [`ServerHandle`], and a [`ShardedPriorPlane`] (replica fan-out).
+pub trait PriorSink {
+    /// Registers (or replaces) the prior served for `task_id`.
+    fn publish(&mut self, task_id: u64, prior: &MixturePrior);
+}
+
+impl PriorSink for Arc<ServerState> {
+    fn publish(&mut self, task_id: u64, prior: &MixturePrior) {
+        self.register_prior(task_id, prior);
+    }
+}
+
+impl PriorSink for ServerHandle {
+    fn publish(&mut self, task_id: u64, prior: &MixturePrior) {
+        self.register_prior(task_id, prior);
+    }
+}
+
+impl PriorSink for ShardedPriorPlane {
+    fn publish(&mut self, task_id: u64, prior: &MixturePrior) {
+        self.register_prior(task_id, prior);
+    }
+}
+
+/// Configuration for [`CloudLearner`].
+#[derive(Debug, Clone)]
+pub struct LearnerConfig {
+    /// Particle-filter configuration shared by every task's filter (the
+    /// effective seed is mixed with the task id, so tasks do not share RNG
+    /// streams).
+    pub sir: SirConfig,
+    /// Publish a refreshed prior after absorbing this many reports per
+    /// task (and once more on [`CloudLearner::force_refresh`]).
+    pub refresh_interval: usize,
+    /// Buffer this many reports before fitting the data-scaled base
+    /// measure and starting the filter. The base needs a pooled variance,
+    /// so at least two reports are always required.
+    pub min_reports_for_base: usize,
+}
+
+impl Default for LearnerConfig {
+    fn default() -> Self {
+        LearnerConfig {
+            sir: SirConfig::default(),
+            refresh_interval: 8,
+            min_reports_for_base: 4,
+        }
+    }
+}
+
+/// What one [`CloudLearner::absorb`] pass did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LearnerTick {
+    /// Reports folded into filters (or buffered toward a base fit).
+    pub absorbed: usize,
+    /// Tasks whose refreshed prior was published this pass, ascending.
+    pub refreshed_tasks: Vec<u64>,
+}
+
+/// Per-task streaming state: reports buffered until the base measure
+/// exists, then a live SIR filter.
+#[derive(Debug)]
+struct TaskLearner {
+    pending: Vec<Vec<f64>>,
+    filter: Option<SirDpFilter>,
+    since_refresh: usize,
+}
+
+/// Streaming cloud learner (see module docs).
+#[derive(Debug)]
+pub struct CloudLearner {
+    config: LearnerConfig,
+    tasks: BTreeMap<u64, TaskLearner>,
+    refreshes: u64,
+}
+
+/// Data-scaled NIW base over reported models: pooled mean, pooled isotropic
+/// variance floored at `1e-3`, weak `κ₀ = 0.05`, minimal proper
+/// `ν₀ = p + 2` — the same construction the batch cloud fit uses, so the
+/// streaming path explores the same posterior family.
+fn niw_base_for(reports: &[Vec<f64>]) -> Result<NormalInverseWishart> {
+    let p = reports[0].len();
+    let n = reports.len() as f64;
+    let mut mean = vec![0.0; p];
+    for t in reports {
+        dre_linalg::vector::axpy(1.0 / n, t, &mut mean);
+    }
+    let mut pooled_var = 0.0;
+    for t in reports {
+        pooled_var += dre_linalg::vector::dist2_sq(t, &mean);
+    }
+    pooled_var = (pooled_var / (n * p as f64)).max(1e-3);
+    let psi = dre_linalg::Matrix::from_diag(&vec![pooled_var; p]);
+    Ok(NormalInverseWishart::new(mean, 0.05, psi, p as f64 + 2.0)?)
+}
+
+impl CloudLearner {
+    /// Creates an idle learner; filters are born per task as reports arrive.
+    pub fn new(config: LearnerConfig) -> CloudLearner {
+        CloudLearner {
+            config,
+            tasks: BTreeMap::new(),
+            refreshes: 0,
+        }
+    }
+
+    /// Total refreshed priors published so far (across tasks).
+    pub fn refreshes(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// Task ids with any learner state, ascending.
+    pub fn task_ids(&self) -> Vec<u64> {
+        self.tasks.keys().copied().collect()
+    }
+
+    /// Reports absorbed into the filter for `task_id` (excluding any still
+    /// buffered toward the base fit).
+    pub fn filter_observations(&self, task_id: u64) -> usize {
+        self.tasks
+            .get(&task_id)
+            .and_then(|t| t.filter.as_ref())
+            .map_or(0, SirDpFilter::num_observations)
+    }
+
+    /// Cluster count of the maximum-weight particle for `task_id` (0 until
+    /// the filter is born).
+    pub fn filter_map_clusters(&self, task_id: u64) -> usize {
+        self.tasks
+            .get(&task_id)
+            .and_then(|t| t.filter.as_ref())
+            .map_or(0, SirDpFilter::map_num_clusters)
+    }
+
+    /// Resampling events in the filter for `task_id`.
+    pub fn filter_resamples(&self, task_id: u64) -> u64 {
+        self.tasks
+            .get(&task_id)
+            .and_then(|t| t.filter.as_ref())
+            .map_or(0, SirDpFilter::resamples)
+    }
+
+    /// Folds a batch of drained reports into the per-task filters and
+    /// publishes a refreshed prior for every task that crossed
+    /// `refresh_interval` absorbed reports since its last publish.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed reports (dimension drift within a
+    /// task, non-finite parameters) or a degenerate base fit.
+    pub fn absorb<S: PriorSink>(
+        &mut self,
+        reports: Vec<ReportedModel>,
+        sink: &mut S,
+    ) -> Result<LearnerTick> {
+        let mut tick = LearnerTick::default();
+        for r in reports {
+            let entry = self.tasks.entry(r.task_id).or_insert_with(|| TaskLearner {
+                pending: Vec::new(),
+                filter: None,
+                since_refresh: 0,
+            });
+            match &mut entry.filter {
+                Some(f) => f.push(&r.params)?,
+                None => {
+                    entry.pending.push(r.params);
+                    if entry.pending.len() >= self.config.min_reports_for_base.max(2) {
+                        let base = niw_base_for(&entry.pending)?;
+                        let mut sir = self.config.sir.clone();
+                        // Distinct stream per task family.
+                        sir.seed = sir.seed.wrapping_add(r.task_id.wrapping_mul(0x9E37));
+                        let mut f = SirDpFilter::new(base, sir)?;
+                        for x in entry.pending.drain(..) {
+                            f.push(&x)?;
+                        }
+                        entry.filter = Some(f);
+                    }
+                }
+            }
+            entry.since_refresh += 1;
+            tick.absorbed += 1;
+        }
+        let interval = self.config.refresh_interval.max(1);
+        for (&task_id, t) in &mut self.tasks {
+            if t.since_refresh >= interval {
+                if let Some(f) = &t.filter {
+                    sink.publish(task_id, &f.to_mixture_prior()?);
+                    t.since_refresh = 0;
+                    self.refreshes += 1;
+                    tick.refreshed_tasks.push(task_id);
+                }
+            }
+        }
+        Ok(tick)
+    }
+
+    /// Publishes the current prior for every task with a live filter,
+    /// regardless of the refresh interval — the end-of-round flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates collapse failures.
+    pub fn force_refresh<S: PriorSink>(&mut self, sink: &mut S) -> Result<Vec<u64>> {
+        let mut refreshed = Vec::new();
+        for (&task_id, t) in &mut self.tasks {
+            if let Some(f) = &t.filter {
+                sink.publish(task_id, &f.to_mixture_prior()?);
+                t.since_refresh = 0;
+                self.refreshes += 1;
+                refreshed.push(task_id);
+            }
+        }
+        Ok(refreshed)
+    }
+
+    /// One synchronous tick against a single server: drain its inbox, fold,
+    /// publish refreshed priors back to the same server.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CloudLearner::absorb`].
+    pub fn step_server(&mut self, server: &ServerHandle) -> Result<LearnerTick> {
+        let reports = server.take_reports();
+        let mut sink = Arc::clone(server.state());
+        self.absorb(reports, &mut sink)
+    }
+
+    /// One synchronous tick against a sharded plane: drain every live
+    /// shard's inbox (shard order, arrival order within a shard), fold, and
+    /// publish refreshed priors through the plane so they fan out to all
+    /// owner replicas.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CloudLearner::absorb`].
+    pub fn step_plane(&mut self, plane: &mut ShardedPriorPlane) -> Result<LearnerTick> {
+        let mut reports = Vec::new();
+        for i in 0..plane.addrs().len() {
+            if let Some(h) = plane.handle(i) {
+                reports.extend(h.take_reports());
+            }
+        }
+        self.absorb(reports, plane)
+    }
+}
+
+/// Background refresh loop: polls a server state on an interval and runs
+/// the learner against it until [`LearnerDaemon::stop`].
+#[derive(Debug)]
+pub struct LearnerDaemon {
+    shutdown: Arc<AtomicBool>,
+    join: Option<JoinHandle<CloudLearner>>,
+}
+
+impl LearnerDaemon {
+    /// Spawns the loop. Each wakeup drains `state`'s inbox and publishes
+    /// refreshed priors back to the same state; a final drain runs at
+    /// shutdown so no accepted report is dropped.
+    pub fn spawn(
+        state: Arc<ServerState>,
+        config: LearnerConfig,
+        poll_interval: Duration,
+    ) -> LearnerDaemon {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let join = std::thread::spawn(move || {
+            let mut learner = CloudLearner::new(config);
+            let mut sink = Arc::clone(&state);
+            while !stop.load(Ordering::Acquire) {
+                let reports = state.take_reports();
+                if let Err(e) = learner.absorb(reports, &mut sink) {
+                    // A malformed report must not kill the loop; the
+                    // filters for well-formed tasks keep serving.
+                    let _ = e;
+                }
+                std::thread::park_timeout(poll_interval);
+            }
+            let reports = state.take_reports();
+            let _ = learner.absorb(reports, &mut sink);
+            let _ = learner.force_refresh(&mut sink);
+            learner
+        });
+        LearnerDaemon {
+            shutdown,
+            join: Some(join),
+        }
+    }
+
+    /// Signals shutdown and returns the final learner for inspection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LearnerError::DaemonPanicked`] when the loop thread
+    /// panicked.
+    pub fn stop(mut self) -> Result<CloudLearner> {
+        self.shutdown.store(true, Ordering::Release);
+        let join = self.join.take().expect("stop runs once");
+        join.thread().unpark();
+        join.join().map_err(|_| LearnerError::DaemonPanicked)
+    }
+}
+
+impl Drop for LearnerDaemon {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            join.thread().unpark();
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dro_edge::transfer::serialize_prior;
+
+    fn report(task_id: u64, params: &[f64]) -> ReportedModel {
+        ReportedModel {
+            task_id,
+            params: params.to_vec(),
+        }
+    }
+
+    fn clustered_reports(task_id: u64, n: usize, seed: u64) -> Vec<ReportedModel> {
+        use dre_prob::{seeded_rng, MvNormal};
+        let mut rng = seeded_rng(seed);
+        let a = MvNormal::isotropic(vec![3.0, 0.0], 0.05).unwrap();
+        let b = MvNormal::isotropic(vec![-3.0, 0.0], 0.05).unwrap();
+        (0..n)
+            .map(|i| {
+                let src = if i % 2 == 0 { &a } else { &b };
+                report(task_id, &src.sample(&mut rng))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn refresh_publishes_on_the_interval_and_serves_the_new_generation() {
+        let state = Arc::new(ServerState::new());
+        let mut sink = Arc::clone(&state);
+        let mut learner = CloudLearner::new(LearnerConfig {
+            refresh_interval: 8,
+            min_reports_for_base: 4,
+            ..LearnerConfig::default()
+        });
+        let before = state.cache_generation();
+        let tick = learner
+            .absorb(clustered_reports(7, 16, 2), &mut sink)
+            .unwrap();
+        assert_eq!(tick.absorbed, 16);
+        assert_eq!(tick.refreshed_tasks, vec![7]);
+        assert!(learner.refreshes() >= 1);
+        let entry = state.prior_entry(7).expect("refresh registered a prior");
+        assert!(entry.generation > before);
+        assert_eq!(learner.filter_observations(7), 16);
+    }
+
+    #[test]
+    fn same_report_stream_publishes_bit_identical_priors() {
+        let run = |seed_reports: u64| {
+            let state = Arc::new(ServerState::new());
+            let mut sink = Arc::clone(&state);
+            let mut learner = CloudLearner::new(LearnerConfig::default());
+            learner
+                .absorb(clustered_reports(3, 24, seed_reports), &mut sink)
+                .unwrap();
+            learner.force_refresh(&mut sink).unwrap();
+            state.prior_entry(3).unwrap().payload.as_ref().clone()
+        };
+        assert_eq!(run(5), run(5), "same stream must be bit-identical");
+        assert_ne!(run(5), run(6), "different reports must differ");
+    }
+
+    #[test]
+    fn force_refresh_covers_tasks_below_the_interval() {
+        let state = Arc::new(ServerState::new());
+        let mut sink = Arc::clone(&state);
+        let mut learner = CloudLearner::new(LearnerConfig {
+            refresh_interval: 1000,
+            ..LearnerConfig::default()
+        });
+        learner
+            .absorb(clustered_reports(1, 10, 9), &mut sink)
+            .unwrap();
+        assert!(state.prior_entry(1).is_none(), "interval not yet crossed");
+        assert_eq!(learner.force_refresh(&mut sink).unwrap(), vec![1]);
+        assert!(state.prior_entry(1).is_some());
+    }
+
+    #[test]
+    fn buffered_reports_wait_for_the_base_then_fold_in_order() {
+        let state = Arc::new(ServerState::new());
+        let mut sink = Arc::clone(&state);
+        let mut learner = CloudLearner::new(LearnerConfig {
+            min_reports_for_base: 6,
+            refresh_interval: 1000,
+            ..LearnerConfig::default()
+        });
+        let all = clustered_reports(2, 10, 13);
+        // Feed one at a time across absorb calls: the first five buffer,
+        // the sixth births the filter and replays the backlog in order.
+        for (i, r) in all.iter().cloned().enumerate() {
+            learner.absorb(vec![r], &mut sink).unwrap();
+            let expect = if i + 1 < 6 { 0 } else { i + 1 };
+            assert_eq!(learner.filter_observations(2), expect, "after report {i}");
+        }
+        // Identical to feeding the whole batch at once.
+        let mut batch = CloudLearner::new(LearnerConfig {
+            min_reports_for_base: 6,
+            refresh_interval: 1000,
+            ..LearnerConfig::default()
+        });
+        let mut sink2 = Arc::new(ServerState::new());
+        batch.absorb(all, &mut sink2).unwrap();
+        let a = learner
+            .tasks
+            .get(&2)
+            .unwrap()
+            .filter
+            .as_ref()
+            .unwrap()
+            .to_mixture_prior()
+            .unwrap();
+        let b = batch
+            .tasks
+            .get(&2)
+            .unwrap()
+            .filter
+            .as_ref()
+            .unwrap()
+            .to_mixture_prior()
+            .unwrap();
+        assert_eq!(serialize_prior(&a), serialize_prior(&b));
+    }
+
+    #[test]
+    fn daemon_drains_and_publishes_then_returns_the_learner() {
+        let state = Arc::new(ServerState::new());
+        for r in clustered_reports(4, 12, 21) {
+            // Feed the inbox through the protocol handler, like the wire does.
+            let ack = state.respond(&dre_serve::Message::ModelReport {
+                task_id: r.task_id,
+                params: r.params,
+            });
+            assert_eq!(ack, dre_serve::Message::Ping);
+        }
+        let daemon = LearnerDaemon::spawn(
+            Arc::clone(&state),
+            LearnerConfig {
+                refresh_interval: 4,
+                ..LearnerConfig::default()
+            },
+            Duration::from_millis(1),
+        );
+        let learner = daemon.stop().unwrap();
+        assert_eq!(learner.filter_observations(4), 12);
+        assert!(state.prior_entry(4).is_some(), "daemon published a prior");
+        assert_eq!(state.report_backlog(), 0, "inbox fully drained");
+    }
+}

@@ -95,6 +95,31 @@ impl NiwSufficientStats {
         }
     }
 
+    /// Merges another set of statistics into this one: afterwards these
+    /// statistics describe the union of both point sets. `O(d²)`, without
+    /// revisiting either side's members — the streaming-learner path for
+    /// pooling per-cluster statistics across batches or particles.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the dimensions differ.
+    pub fn merge(&mut self, other: &NiwSufficientStats) {
+        assert_eq!(
+            self.sum.len(),
+            other.sum.len(),
+            "sufficient stats dimension mismatch"
+        );
+        self.n += other.n;
+        for (s, &v) in self.sum.iter_mut().zip(&other.sum) {
+            *s += v;
+        }
+        for i in 0..self.sum.len() {
+            for j in 0..self.sum.len() {
+                self.outer[(i, j)] += other.outer[(i, j)];
+            }
+        }
+    }
+
     /// Sample mean `x̄` (the zero vector when empty).
     pub fn mean(&self) -> Vec<f64> {
         if self.n == 0 {
@@ -484,6 +509,36 @@ mod tests {
                 .unwrap(),
             0.0
         );
+    }
+
+    #[test]
+    fn merged_stats_equal_stats_of_the_pooled_points() {
+        let mut rng = seeded_rng(91);
+        let normal = MvNormal::isotropic(vec![1.0, -2.0, 0.5], 1.3).unwrap();
+        let a_pts = normal.sample_n(&mut rng, 7);
+        let b_pts = normal.sample_n(&mut rng, 11);
+
+        let mut merged = stats_from(&a_pts);
+        merged.merge(&stats_from(&b_pts));
+        // Pooled-in-order accumulation, for the exact same additions.
+        let mut pooled: Vec<Vec<f64>> = a_pts.clone();
+        pooled.extend(b_pts.clone());
+        let direct = stats_from(&pooled);
+
+        assert_eq!(merged.len(), 18);
+        for (m, d) in merged.mean().iter().zip(direct.mean()) {
+            assert!((m - d).abs() < 1e-12);
+        }
+        let (ms, ds) = (merged.scatter(), direct.scatter());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((ms[(i, j)] - ds[(i, j)]).abs() < 1e-12);
+            }
+        }
+        // Merging into empty stats is a copy.
+        let mut empty = NiwSufficientStats::new(3);
+        empty.merge(&direct);
+        assert_eq!(empty, direct);
     }
 
     #[test]

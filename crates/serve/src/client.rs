@@ -403,7 +403,7 @@ mod tests {
         assert_eq!(m.responses_ok, 3);
         assert_eq!(m.retries, 0);
         assert_eq!(m.errors, 0);
-        assert_eq!(state.reports().len(), 1);
+        assert_eq!(state.take_reports().len(), 1);
     }
 
     #[test]

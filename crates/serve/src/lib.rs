@@ -79,7 +79,7 @@ pub use runtime::{EdgeRuntime, EdgeRuntimeConfig, RuntimeCounters, RuntimeFit};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics, LATENCY_BUCKETS};
 pub use server::{
     InMemoryServer, PriorEntry, PriorServer, PriorView, ReportedModel, ResponseBytes, ServeConfig,
-    ServerHandle, ServerState, ShardRoute, MAX_ERROR_DETAIL_BYTES,
+    ServerHandle, ServerState, ShardRoute, DEFAULT_REPORT_INBOX_CAP, MAX_ERROR_DETAIL_BYTES,
 };
 pub use shard::{
     default_shards, stable_shard_hash, HashRing, ShardConnector, ShardDirectory, ShardMap,

@@ -124,6 +124,11 @@ pub struct ServeMetrics {
     /// `PriorRequest`s for a task id this shard does not own, answered
     /// with a retryable `Misrouted` redirect (server only).
     pub misroutes: AtomicU64,
+    /// Model reports dropped because the report inbox was at its
+    /// configured cap ([`crate::server::ServeConfig::report_inbox_cap`]) —
+    /// a report flood degrades into counted shedding instead of unbounded
+    /// memory growth (server only).
+    pub reports_shed: AtomicU64,
     /// Per-exchange latency distribution.
     pub latency: LatencyHistogram,
 }
@@ -159,6 +164,7 @@ impl ServeMetrics {
             map_refreshes: self.map_refreshes.load(Ordering::Relaxed),
             replica_fanouts: self.replica_fanouts.load(Ordering::Relaxed),
             misroutes: self.misroutes.load(Ordering::Relaxed),
+            reports_shed: self.reports_shed.load(Ordering::Relaxed),
             latency_buckets: self.latency.snapshot(),
         }
     }
@@ -211,6 +217,8 @@ pub struct MetricsSnapshot {
     pub replica_fanouts: u64,
     /// Misrouted prior requests answered with a retryable redirect.
     pub misroutes: u64,
+    /// Model reports dropped at the report-inbox cap.
+    pub reports_shed: u64,
     /// Log2-spaced latency bucket counts.
     pub latency_buckets: [u64; LATENCY_BUCKETS],
 }
@@ -226,7 +234,7 @@ impl MetricsSnapshot {
     /// `wouldblock_reads` and `batched_writes` are deliberately absent:
     /// both depend on how the kernel slices bytes across readiness
     /// windows, which no seed controls.
-    pub fn deterministic_counters(&self) -> [u64; 20] {
+    pub fn deterministic_counters(&self) -> [u64; 21] {
         [
             self.requests,
             self.responses_ok,
@@ -248,6 +256,7 @@ impl MetricsSnapshot {
             self.map_refreshes,
             self.replica_fanouts,
             self.misroutes,
+            self.reports_shed,
         ]
     }
 }
@@ -281,8 +290,12 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         writeln!(
             f,
-            "shard_failovers={} map_refreshes={} replica_fanouts={} misroutes={}",
-            self.shard_failovers, self.map_refreshes, self.replica_fanouts, self.misroutes
+            "shard_failovers={} map_refreshes={} replica_fanouts={} misroutes={} reports_shed={}",
+            self.shard_failovers,
+            self.map_refreshes,
+            self.replica_fanouts,
+            self.misroutes,
+            self.reports_shed
         )?;
         write!(f, "latency:")?;
         let mut any = false;

@@ -315,7 +315,7 @@ mod tests {
             assert!(fit.reported);
         }
         assert_eq!(rt.counters().fresh_fits, 3);
-        assert_eq!(state.reports().len(), 3);
+        assert_eq!(state.take_reports().len(), 3);
     }
 
     #[test]

@@ -84,6 +84,11 @@ fn default_workers() -> usize {
         .unwrap_or(4)
 }
 
+/// Default [`ServeConfig::report_inbox_cap`]: roomy enough that a learner
+/// polling at any sane cadence never sheds, small enough that an
+/// undrained inbox stays bounded (~64k reports).
+pub const DEFAULT_REPORT_INBOX_CAP: usize = 64 << 10;
+
 /// Tuning knobs for [`PriorServer::bind`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -126,6 +131,13 @@ pub struct ServeConfig {
     /// sweeps when no socket turns ready. Wake-ups (new connections,
     /// shutdown) interrupt it.
     pub poll_interval: Duration,
+    /// Cap on buffered model reports: once the inbox holds this many
+    /// undrained [`ReportedModel`]s, further reports are acknowledged but
+    /// dropped (counted in [`ServeMetrics::reports_shed`]) — a report
+    /// flood degrades into counted shedding instead of unbounded memory
+    /// growth. A learner draining via [`ServerState::take_reports`] keeps
+    /// the inbox far below the cap in normal operation.
+    pub report_inbox_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -142,6 +154,7 @@ impl Default for ServeConfig {
             busy_retry_after: Duration::from_millis(25),
             buffer_high_water: 64 << 10,
             poll_interval: Duration::from_millis(10),
+            report_inbox_cap: DEFAULT_REPORT_INBOX_CAP,
         }
     }
 }
@@ -301,6 +314,9 @@ pub struct ServerState {
     generation: AtomicU64,
     /// Models reported by edge devices, in arrival order.
     reports: Mutex<Vec<ReportedModel>>,
+    /// Inbox cap enforced on `ModelReport` arrivals; reports beyond it
+    /// are acknowledged but shed ([`ServeMetrics::reports_shed`]).
+    report_inbox_cap: AtomicU64,
     /// Server-side transfer metrics.
     metrics: ServeMetrics,
     /// Connections handed to a worker but not yet adopted by its loop.
@@ -329,6 +345,7 @@ impl Default for ServerState {
             }),
             generation: AtomicU64::new(0),
             reports: Mutex::new(Vec::new()),
+            report_inbox_cap: AtomicU64::new(DEFAULT_REPORT_INBOX_CAP as u64),
             metrics: ServeMetrics::new(),
             pending: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
@@ -488,9 +505,31 @@ impl ServerState {
         self.prior_view().snapshot.get(&task_id).cloned()
     }
 
-    /// Models reported so far, in arrival order.
+    /// Models reported so far, in arrival order. This *clones* the whole
+    /// inbox — use it for inspection that must leave the log intact;
+    /// consumers that process each report exactly once (the cloud
+    /// learner's drain loop) should call [`ServerState::take_reports`]
+    /// instead.
     pub fn reports(&self) -> Vec<ReportedModel> {
         self.reports_lock().clone()
+    }
+
+    /// Drains the report inbox: returns every buffered report, in arrival
+    /// order, leaving the inbox empty — no clone, and the freed capacity
+    /// re-opens the [`ServeConfig::report_inbox_cap`] admission window.
+    pub fn take_reports(&self) -> Vec<ReportedModel> {
+        std::mem::take(&mut *self.reports_lock())
+    }
+
+    /// Number of reports currently buffered in the inbox.
+    pub fn report_backlog(&self) -> usize {
+        self.reports_lock().len()
+    }
+
+    /// Overrides the report-inbox cap (normally set from
+    /// [`ServeConfig::report_inbox_cap`] at bind time).
+    pub fn set_report_inbox_cap(&self, cap: usize) {
+        self.report_inbox_cap.store(cap as u64, Ordering::Relaxed);
     }
 
     /// Point-in-time server metrics.
@@ -575,10 +614,21 @@ impl ServerState {
                 },
             },
             Message::ModelReport { task_id, params } => {
-                self.reports_lock().push(ReportedModel {
-                    task_id: *task_id,
-                    params: params.clone(),
-                });
+                // Shed-at-cap keeps the reply a positive ack either way:
+                // the device's report leg must never look like an outage
+                // (that would spend degradation rungs), so overload is
+                // absorbed server-side and surfaced through the
+                // `reports_shed` counter.
+                let cap = self.report_inbox_cap.load(Ordering::Relaxed) as usize;
+                let mut inbox = self.reports_lock();
+                if inbox.len() >= cap {
+                    self.metrics.reports_shed.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    inbox.push(ReportedModel {
+                        task_id: *task_id,
+                        params: params.clone(),
+                    });
+                }
                 Message::Ping
             }
             other => Message::Error {
@@ -1096,6 +1146,7 @@ impl PriorServer {
             source,
         })?;
         let state = Arc::new(ServerState::new());
+        state.set_report_inbox_cap(config.report_inbox_cap);
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let workers = config.workers.max(1);
@@ -1230,9 +1281,16 @@ impl ServerHandle {
         self.state.metrics()
     }
 
-    /// Models reported by edge devices so far.
+    /// Models reported by edge devices so far (cloned; the log is left
+    /// intact — drain loops should use [`ServerHandle::take_reports`]).
     pub fn reports(&self) -> Vec<ReportedModel> {
         self.state.reports()
+    }
+
+    /// Drains the report inbox: every buffered report in arrival order,
+    /// leaving the inbox empty.
+    pub fn take_reports(&self) -> Vec<ReportedModel> {
+        self.state.take_reports()
     }
 
     /// Signals shutdown and joins every thread. Idempotent.
@@ -1288,13 +1346,16 @@ mod tests {
             }),
             Message::Ping
         );
+        // Consume-once semantics: the drain hands the report over and
+        // leaves the inbox empty.
         assert_eq!(
-            state.reports(),
+            state.take_reports(),
             vec![ReportedModel {
                 task_id: 7,
                 params: vec![1.0, 2.0],
             }]
         );
+        assert!(state.take_reports().is_empty());
         assert!(matches!(
             state.respond(&Message::PriorResponse { payload: vec![] }),
             Message::Error {
@@ -1307,6 +1368,41 @@ mod tests {
         assert_eq!(m.requests, 5);
         assert_eq!(m.responses_ok, 3);
         assert_eq!(m.errors, 2);
+    }
+
+    #[test]
+    fn report_inbox_cap_sheds_with_an_ack_and_draining_reopens_the_window() {
+        let state = ServerState::new();
+        state.set_report_inbox_cap(2);
+        for i in 0..5 {
+            // Every report — kept or shed — is answered with a positive
+            // ack, so a flooding fleet never sees its report leg fail.
+            assert_eq!(
+                state.respond(&Message::ModelReport {
+                    task_id: 1,
+                    params: vec![i as f64],
+                }),
+                Message::Ping
+            );
+        }
+        // The inbox holds exactly the cap; the overflow was counted shed.
+        assert_eq!(state.report_backlog(), 2);
+        assert_eq!(state.metrics().reports_shed, 3);
+        let kept = state.take_reports();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].params, vec![0.0]);
+        assert_eq!(kept[1].params, vec![1.0]);
+
+        // Draining re-opened the admission window.
+        assert_eq!(
+            state.respond(&Message::ModelReport {
+                task_id: 1,
+                params: vec![9.0],
+            }),
+            Message::Ping
+        );
+        assert_eq!(state.report_backlog(), 1);
+        assert_eq!(state.metrics().reports_shed, 3);
     }
 
     #[test]

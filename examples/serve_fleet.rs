@@ -13,6 +13,14 @@
 //! counts are *measured* frame sizes, the same numbers the `dre-edgesim`
 //! simulator charges.
 //!
+//! The loop is **closed**: a `CloudLearner` drains every shard's report
+//! inbox once per round (the consume-once `take_reports` path — no
+//! clone-and-poll), folds the fleet's reported models into a streaming SIR
+//! particle filter, and periodically publishes a refreshed DP prior back
+//! through the plane. The refresh fans out to both replicas
+//! byte-identically and every keep-alive device picks the new generation
+//! up on its next fetch without reconnecting.
+//!
 //! ```sh
 //! cargo run -p dre-integration --example serve_fleet --release [fleet_size]
 //! ```
@@ -25,6 +33,7 @@ use dre_serve::{
     frame, BreakerConfig, BreakerState, EdgeRuntime, EdgeRuntimeConfig, RetryPolicy, ServeConfig,
     ShardConnector, ShardPlaneConfig, ShardedPriorPlane,
 };
+use dre_learner::{CloudLearner, LearnerConfig, SirConfig};
 use dro_edge::{CloudKnowledge, EdgeLearnerConfig};
 
 const TASK_ID: u64 = 1;
@@ -134,6 +143,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Rounds 0–1 healthy, primary killed before round 2, restarted (and
     // its payloads replayed) before round 5.
     let rounds = 7usize;
+    // The streaming learner closing the loop: one drain per round, one
+    // refreshed prior generation per crossed interval.
+    let mut learner = CloudLearner::new(LearnerConfig {
+        sir: SirConfig {
+            seed: 4242,
+            ..SirConfig::default()
+        },
+        refresh_interval: fleet_size.max(2),
+        min_reports_for_base: 4,
+    });
+    let mut refreshed_generations = 0usize;
     print!("{:<28}", "round");
     for dev in 0..fleet_size {
         print!("{:>12}", format!("dev{dev}"));
@@ -164,6 +184,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             print!("{:>12}", format!("{}({state})", fit.mode.tag()));
         }
         println!();
+        // Close the loop: drain every live shard's inbox and, whenever a
+        // task crosses the refresh interval, fan the refreshed prior out
+        // to all owner replicas through the plane.
+        let tick = learner.step_plane(&mut plane)?;
+        if !tick.refreshed_tasks.is_empty() {
+            refreshed_generations += tick.refreshed_tasks.len();
+            println!(
+                "-- learner absorbed {} reports and refreshed the task-1 prior \
+                 (generation {}) --",
+                tick.absorbed, refreshed_generations
+            );
+        }
     }
 
     // ── What the fleet did, per device ─────────────────────────────────
@@ -225,6 +257,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nrouting: {} replica failovers, {} map refreshes, {} replica fan-out writes",
         routing.shard_failovers, routing.map_refreshes, fanouts
+    );
+    println!(
+        "learner: {} reports absorbed into the SIR filter, {} refreshed prior \
+         generations published ({} MAP clusters)",
+        learner.filter_observations(TASK_ID),
+        learner.refreshes(),
+        learner.filter_map_clusters(TASK_ID)
+    );
+    assert!(
+        learner.refreshes() >= 1,
+        "the fleet reports every round; the learner must have refreshed"
     );
     assert!(
         routing.shard_failovers >= fleet_size as u64,

@@ -158,7 +158,7 @@ struct FleetOutcome {
     /// Per-device runtime counters.
     counters: Vec<dre_serve::RuntimeCounters>,
     /// Per-device client-side deterministic transfer counters.
-    client_counters: Vec<[u64; 20]>,
+    client_counters: Vec<[u64; 21]>,
     /// Per-device injected-fault counts.
     fault_counts: Vec<dre_serve::FaultCounts>,
     /// Mean held-out accuracy over devices, per round.
@@ -456,7 +456,7 @@ fn sharded_fleet_survives_shard_kill_and_rebalance_bit_identically() {
 
         let traces: Vec<Vec<FitMode>> =
             fleet.iter().map(|rt| rt.mode_trace().to_vec()).collect();
-        let counters: Vec<[u64; 20]> = fleet
+        let counters: Vec<[u64; 21]> = fleet
             .iter()
             .map(|rt| rt.client().metrics().deterministic_counters())
             .collect();

@@ -104,10 +104,12 @@ fn loopback_fleet_fetches_priors_and_fits_concurrently() {
     assert!(m.connections >= 3 * CLIENTS as u64);
     assert_eq!(m.latency_count(), 3 * CLIENTS as u64);
 
-    // Every device's report arrived.
-    let reports = server.reports();
+    // Every device's report arrived; this harness consumes them exactly
+    // once, so it drains rather than cloning the inbox.
+    let reports = server.take_reports();
     assert_eq!(reports.len(), CLIENTS);
     assert!(reports.iter().all(|r| r.task_id == TASK_ID));
+    assert!(server.take_reports().is_empty(), "the drain must empty the inbox");
 
     // The measured prior frame is exactly what the simulator charges: the
     // prior lives over packed parameters (feature dim 4 + bias = 5).
@@ -420,6 +422,49 @@ fn burst_beyond_queue_bound_is_shed_with_busy_and_no_worker_wedges() {
     );
     assert!(m.busy >= (BURST + 1) as u64, "busy replies: {}", m.busy);
     // Shutdown joins every thread — a wedged worker would hang here.
+    server.shutdown();
+}
+
+#[test]
+fn report_flood_beyond_the_inbox_cap_sheds_with_exact_accounting() {
+    // A tiny cap + a flood over real TCP: every report is acknowledged
+    // (the device-side leg never fails), the kept prefix is exactly the
+    // first `cap` reports in arrival order, the overflow is counted in
+    // `reports_shed`, and draining re-opens the admission window.
+    const CAP: usize = 3;
+    const FLOOD: usize = 10;
+    let config = ServeConfig {
+        report_inbox_cap: CAP,
+        ..ServeConfig::default()
+    };
+    let mut server = PriorServer::bind("127.0.0.1:0", config).unwrap();
+    let mut client = PriorClient::new(
+        TcpConnector::new(server.addr()),
+        RetryPolicy::no_retries(),
+    )
+    .keep_alive(true);
+
+    for i in 0..FLOOD {
+        client
+            .report_model(TASK_ID, vec![i as f64; 4])
+            .expect("a shed report must still be acknowledged");
+    }
+    let m = server.metrics();
+    assert_eq!(m.requests, FLOOD as u64);
+    assert_eq!(m.responses_ok, FLOOD as u64, "shedding is not an error");
+    assert_eq!(m.errors, 0);
+    assert_eq!(m.reports_shed, (FLOOD - CAP) as u64);
+
+    let kept = server.take_reports();
+    assert_eq!(kept.len(), CAP);
+    for (i, r) in kept.iter().enumerate() {
+        assert_eq!(r.params, vec![i as f64; 4], "kept prefix must be in order");
+    }
+
+    // The drain freed the window: the next report is kept, not shed.
+    client.report_model(TASK_ID, vec![42.0; 4]).unwrap();
+    assert_eq!(server.take_reports().len(), 1);
+    assert_eq!(server.metrics().reports_shed, (FLOOD - CAP) as u64);
     server.shutdown();
 }
 
