@@ -26,7 +26,7 @@ use dre_bench::degraded::{
     degraded_scenario, readings_below_floor, run_degraded_rounds, spawn_degraded_fleet,
 };
 use dre_bench::json::JsonValue;
-use dre_learner::{SirConfig, SirDpFilter};
+use dre_learner::{AdmissionConfig, AdmissionState, SirConfig, SirDpFilter};
 use dre_linalg::{Cholesky, Matrix};
 use dre_serve::{
     PriorClient, PriorServer, RetryPolicy, ServeConfig, ShardPlaneConfig, ShardedPriorPlane,
@@ -928,7 +928,7 @@ fn main() {
         ser_flat.iter().zip(&par_flat).filter(|(a, b)| a != b).count() as f64
     };
     let gibbs = DpNiwGibbs::new(
-        sir_base,
+        sir_base.clone(),
         GibbsConfig {
             alpha: 1.0,
             burn_in: 30,
@@ -997,6 +997,78 @@ fn main() {
          ({rps_parallel:.0} reports/s), bit mismatches {bit_mismatches}, refit divergence \
          {refit_divergence:e}"
     );
+
+    // -- report admission: gate overhead on the same refresh stream ---------
+    // The Byzantine-admission gate rides the refresh drain loop: score each
+    // report with the filter's collapsed predictive marginal, consult the
+    // rolling-quantile gate and the reputation ledger, then push. On this
+    // all-honest stream every report must be admitted, so the gated refresh
+    // collapses to the bit-identical prior (any f64 mismatch or gated
+    // report counts whole units into the diff) — and the wall-clock it
+    // adds over the bare refresh is the price of robustness, gated at
+    // < 10% of `learner_refresh_reports_per_sec`.
+    let gated_refresh = || {
+        let mut filter =
+            SirDpFilter::new(sir_base.clone(), sir_cfg.clone()).expect("valid config");
+        // A wide margin keeps the two alternating honest clusters inside
+        // the gate even while the rolling window is still short.
+        let mut adm = AdmissionState::new(AdmissionConfig {
+            margin: 32.0,
+            ..AdmissionConfig::default()
+        })
+        .expect("valid admission config");
+        let mut gated = 0u64;
+        for (i, x) in sir_reports.iter().enumerate() {
+            let score = filter.score_report(x).expect("score succeeds");
+            if adm.admit(9, i as u64 % 16, Some(score)).admitted() {
+                filter.push(x).expect("push succeeds");
+            } else {
+                gated += 1;
+            }
+        }
+        (filter.to_mixture_prior().expect("collapse succeeds"), gated)
+    };
+    let (adm_ms, (adm_prior, gated)) = time_best(3, &gated_refresh);
+    let adm_flat = flatten(&adm_prior);
+    let adm_mismatches = if adm_flat.len() != par_flat.len() {
+        1.0
+    } else {
+        adm_flat.iter().zip(&par_flat).filter(|(a, b)| a != b).count() as f64
+    };
+    let overhead = adm_ms / par_ms - 1.0;
+    let diff = adm_mismatches + gated as f64;
+    let rps_admitted = m as f64 / (adm_ms / 1e3);
+    let name = "report_admission_reports_per_sec".to_string();
+    kernels.push(KernelReport {
+        json: JsonValue::object([
+            ("name", JsonValue::from(name.as_str())),
+            ("refresh_ms", JsonValue::from(par_ms)),
+            ("admitted_ms", JsonValue::from(adm_ms)),
+            ("overhead_fraction", JsonValue::from(overhead)),
+            ("reports", JsonValue::from(m)),
+            ("reports_gated", JsonValue::from(gated as f64)),
+            ("reports_per_sec", JsonValue::from(rps_admitted)),
+            ("max_abs_diff", JsonValue::from(diff)),
+            ("tolerance", JsonValue::from(0.0)),
+        ]),
+        name: name.clone(),
+        diff,
+        tolerance: 0.0,
+        expects_parallelism: false,
+    });
+    println!(
+        "{name}: bare refresh {par_ms:.2} ms, gated refresh {adm_ms:.2} ms \
+         ({rps_admitted:.0} reports/s, overhead {:.1}%), gated {gated}, prior \
+         mismatches {adm_mismatches}",
+        overhead * 100.0
+    );
+    if !smoke && !degraded_host && overhead >= 0.10 {
+        eprintln!(
+            "FAIL {name}: admission overhead {:.1}% is above the 10% gate",
+            overhead * 100.0
+        );
+        perf_gate_failures += 1;
+    }
 
     // -- tolerance gate + report --------------------------------------------
     let mut violations = perf_gate_failures;

@@ -58,9 +58,10 @@ fn learner_config() -> EdgeLearnerConfig {
     }
 }
 
-fn runtime_config(report_models: bool) -> EdgeRuntimeConfig {
+fn runtime_config(report_models: bool, device_id: u64) -> EdgeRuntimeConfig {
     EdgeRuntimeConfig {
         task_id: TASK_ID,
+        device_id,
         learner: learner_config(),
         erm_lambda: 1e-3,
         breaker: BreakerConfig {
@@ -161,7 +162,13 @@ fn run_loop(
     state.register_prior(TASK_ID, &broad_prior(param_dim));
 
     let mut eval_rts: Vec<_> = (0..EVALS)
-        .map(|_| EdgeRuntime::new(TcpConnector::new(addr), fast_policy(), runtime_config(false)))
+        .map(|dev| {
+            EdgeRuntime::new(
+                TcpConnector::new(addr),
+                fast_policy(),
+                runtime_config(false, 10_000 + dev as u64),
+            )
+        })
         .collect();
 
     let mut learner = CloudLearner::new(LearnerConfig {
@@ -171,6 +178,7 @@ fn run_loop(
         },
         refresh_interval: usize::MAX,
         min_reports_for_base: 4,
+        admission: None,
     });
     let mut sink = Arc::clone(&state);
     let mut accs = Vec::with_capacity(ROUNDS);
@@ -190,8 +198,14 @@ fn run_loop(
 
         let joining = &reporters[round * REPORTERS_PER_ROUND..(round + 1) * REPORTERS_PER_ROUND];
         for (dev, data) in joining.iter().enumerate() {
-            let mut rt =
-                EdgeRuntime::new(TcpConnector::new(addr), fast_policy(), runtime_config(true));
+            // Each joining reporter is a fresh device: give it a unique id so
+            // its seq-1 report is not replay-dropped by the server.
+            let device_id = (round * REPORTERS_PER_ROUND + dev) as u64;
+            let mut rt = EdgeRuntime::new(
+                TcpConnector::new(addr),
+                fast_policy(),
+                runtime_config(true, device_id),
+            );
             let fit = rt.fit_step(&data.train).unwrap();
             assert_eq!(fit.mode, FitMode::FreshPrior, "reporter {dev} degraded");
             assert!(fit.reported, "reporter {dev} did not report");

@@ -122,9 +122,10 @@ pub fn degraded_learner_config() -> EdgeLearnerConfig {
 /// Runtime configuration for the degraded fleet: a fast-tripping breaker
 /// (threshold 2, 2-step cooldown, so open-breaker short-circuits are
 /// visible in per-round traces) and a 2-step stale-prior TTL.
-pub fn degraded_runtime_config() -> EdgeRuntimeConfig {
+pub fn degraded_runtime_config(device_id: u64) -> EdgeRuntimeConfig {
     EdgeRuntimeConfig {
         task_id: DEGRADED_TASK_ID,
+        device_id,
         learner: degraded_learner_config(),
         erm_lambda: DEGRADED_ERM_LAMBDA,
         breaker: BreakerConfig {
@@ -173,7 +174,7 @@ pub fn spawn_degraded_fleet(
                 InMemoryServer::with_state(Arc::clone(&sc.state)),
                 FaultInjector::new(seed.wrapping_mul(1_000) + dev as u64, degraded_faults(rate)),
             );
-            EdgeRuntime::new(connector, degraded_policy(), degraded_runtime_config())
+            EdgeRuntime::new(connector, degraded_policy(), degraded_runtime_config(dev as u64))
         })
         .collect()
 }

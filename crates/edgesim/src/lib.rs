@@ -52,9 +52,11 @@
 
 mod event;
 mod network;
+mod adversary;
 mod scenario;
 mod time;
 
+pub use adversary::{flip_labels, poisoned_report, AdversaryKind};
 pub use event::{Event, EventQueue};
 pub use network::Link;
 pub use scenario::{

@@ -283,14 +283,14 @@ pub const fn shard_map_bytes(num_shards: usize) -> u64 {
 /// and a cohort of `devices` edge devices: every device fetches the
 /// current `components`-component prior (request + response frames),
 /// sends back its fitted `ModelReport`, and receives the one-byte-payload
-/// `Ping` ack the server answers reports with. Each leg is the exact
-/// `dre-serve` frame length, so simulations of streaming-learner
-/// deployments charge the true per-round radio cost.
+/// `ReportAck` (accepted/rejected bit) the server answers reports with.
+/// Each leg is the exact `dre-serve` frame length, so simulations of
+/// streaming-learner deployments charge the true per-round radio cost.
 pub const fn refresh_round_bytes(devices: usize, components: usize, dim: usize) -> u64 {
     let per_device = REQUEST_BYTES
         + prior_transfer_bytes(components, dim)
         + model_report_bytes(dim)
-        + dre_serve::frame::ping_frame_len() as u64;
+        + dre_serve::frame::report_ack_frame_len() as u64;
     per_device * devices as u64
 }
 
@@ -1016,10 +1016,12 @@ mod tests {
             .len();
         let report = encode(&Message::ModelReport {
             task_id: 1,
+            device_id: 0,
+            seq: 1,
             params: vec![0.0; dim + 1],
         })
         .len()
-        + encode(&Message::Ping).len();
+        + encode(&Message::ReportAck { accepted: true }).len();
         let per_device = (fetch + report) as u64;
 
         for devices in [1usize, 5, 25] {
@@ -1361,7 +1363,8 @@ mod tests {
         // Response frame for K=2, feature dim 4 (parameter dim 5): 10 bytes
         // of framing + 13 bytes of transfer header + 2·(1+5+15) f64s.
         assert_eq!(prior_transfer_bytes(2, 4), 10 + 13 + 8 * 2 * 21);
-        // Model report for feature dim 4: framing + task id + count + 5 f64s.
-        assert_eq!(model_report_bytes(4), 10 + 8 + 4 + 8 * 5);
+        // Model report for feature dim 4: framing + task id + device id +
+        // sequence number + count + 5 f64s.
+        assert_eq!(model_report_bytes(4), 10 + 8 + 8 + 8 + 4 + 8 * 5);
     }
 }

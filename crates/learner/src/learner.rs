@@ -35,6 +35,7 @@ use dre_prob::NormalInverseWishart;
 use dre_serve::shard::ShardedPriorPlane;
 use dre_serve::{ReportedModel, ServerHandle, ServerState};
 
+use crate::admission::{AdmissionConfig, AdmissionOutcome, AdmissionState};
 use crate::sir::{SirConfig, SirDpFilter};
 use crate::{LearnerError, Result};
 
@@ -77,6 +78,11 @@ pub struct LearnerConfig {
     /// measure and starting the filter. The base needs a pooled variance,
     /// so at least two reports are always required.
     pub min_reports_for_base: usize,
+    /// Byzantine-robust report admission (predictive gating + reputation
+    /// ledger). `None` absorbs every report unconditionally, exactly the
+    /// pre-admission behaviour; harnesses flip it with
+    /// [`admission_from_env`](crate::admission_from_env).
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for LearnerConfig {
@@ -85,6 +91,7 @@ impl Default for LearnerConfig {
             sir: SirConfig::default(),
             refresh_interval: 8,
             min_reports_for_base: 4,
+            admission: None,
         }
     }
 }
@@ -94,6 +101,11 @@ impl Default for LearnerConfig {
 pub struct LearnerTick {
     /// Reports folded into filters (or buffered toward a base fit).
     pub absorbed: usize,
+    /// Reports refused by admission this pass (gated plus quarantine
+    /// drops); always zero with admission disabled.
+    pub gated: usize,
+    /// Devices newly quarantined this pass (transitions, not population).
+    pub quarantined: usize,
     /// Tasks whose refreshed prior was published this pass, ascending.
     pub refreshed_tasks: Vec<u64>,
 }
@@ -112,6 +124,7 @@ struct TaskLearner {
 pub struct CloudLearner {
     config: LearnerConfig,
     tasks: BTreeMap<u64, TaskLearner>,
+    admission: Option<AdmissionState>,
     refreshes: u64,
 }
 
@@ -137,12 +150,45 @@ fn niw_base_for(reports: &[Vec<f64>]) -> Result<NormalInverseWishart> {
 
 impl CloudLearner {
     /// Creates an idle learner; filters are born per task as reports arrive.
+    ///
+    /// An invalid admission configuration is surfaced lazily as a disabled
+    /// gate (construction stays infallible for callers that never enable
+    /// admission); use [`CloudLearner::try_new`] to surface the error.
     pub fn new(config: LearnerConfig) -> CloudLearner {
+        let admission = config
+            .admission
+            .clone()
+            .and_then(|a| AdmissionState::new(a).ok());
         CloudLearner {
             config,
             tasks: BTreeMap::new(),
+            admission,
             refreshes: 0,
         }
+    }
+
+    /// Like [`CloudLearner::new`] but rejects invalid admission settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an out-of-range [`AdmissionConfig`].
+    pub fn try_new(config: LearnerConfig) -> Result<CloudLearner> {
+        let admission = match config.admission.clone() {
+            Some(a) => Some(AdmissionState::new(a)?),
+            None => None,
+        };
+        Ok(CloudLearner {
+            config,
+            tasks: BTreeMap::new(),
+            admission,
+            refreshes: 0,
+        })
+    }
+
+    /// The admission controller, when enabled — reputation ledger, gate
+    /// thresholds, and gating totals live here.
+    pub fn admission(&self) -> Option<&AdmissionState> {
+        self.admission.as_ref()
     }
 
     /// Total refreshed priors published so far (across tasks).
@@ -201,6 +247,29 @@ impl CloudLearner {
                 filter: None,
                 since_refresh: 0,
             });
+            if let Some(adm) = &mut self.admission {
+                // Score with the collapsed predictive marginal when the
+                // filter exists; pre-base reports pass unscored (the gate
+                // has no baseline yet) but quarantine still holds. The
+                // memoizing scorer lets an admitted report's push reuse
+                // the per-particle rows computed here.
+                let score = match &mut entry.filter {
+                    Some(f) => Some(f.score_report(&r.params)?),
+                    None => None,
+                };
+                match adm.admit(r.task_id, r.device_id, score) {
+                    AdmissionOutcome::Admitted => {}
+                    AdmissionOutcome::Gated { quarantined_device } => {
+                        tick.gated += 1;
+                        tick.quarantined += usize::from(quarantined_device);
+                        continue;
+                    }
+                    AdmissionOutcome::Quarantined { .. } => {
+                        tick.gated += 1;
+                        continue;
+                    }
+                }
+            }
             match &mut entry.filter {
                 Some(f) => f.push(&r.params)?,
                 None => {
@@ -211,8 +280,18 @@ impl CloudLearner {
                         // Distinct stream per task family.
                         sir.seed = sir.seed.wrapping_add(r.task_id.wrapping_mul(0x9E37));
                         let mut f = SirDpFilter::new(base, sir)?;
-                        for x in entry.pending.drain(..) {
-                            f.push(&x)?;
+                        let pending = std::mem::take(&mut entry.pending);
+                        for x in &pending {
+                            f.push(x)?;
+                        }
+                        // Seed the gate baseline with the base cohort's own
+                        // marginals, so the gate is armed the moment the
+                        // filter exists — a poisoned report arriving right
+                        // after birth must not ride an empty window in.
+                        if let Some(adm) = &mut self.admission {
+                            for x in &pending {
+                                adm.seed_baseline(r.task_id, f.predictive_log_marginal(x)?);
+                            }
                         }
                         entry.filter = Some(f);
                     }
@@ -263,7 +342,11 @@ impl CloudLearner {
     pub fn step_server(&mut self, server: &ServerHandle) -> Result<LearnerTick> {
         let reports = server.take_reports();
         let mut sink = Arc::clone(server.state());
-        self.absorb(reports, &mut sink)
+        let tick = self.absorb(reports, &mut sink)?;
+        server
+            .state()
+            .note_admission_outcomes(tick.gated as u64, tick.quarantined as u64);
+        Ok(tick)
     }
 
     /// One synchronous tick against a sharded plane: drain every live
@@ -281,7 +364,17 @@ impl CloudLearner {
                 reports.extend(h.take_reports());
             }
         }
-        self.absorb(reports, plane)
+        let tick = self.absorb(reports, plane)?;
+        // Fold learner-side admission outcomes into the first live shard's
+        // metrics (once, not per shard — the counters are fleet totals).
+        for i in 0..plane.addrs().len() {
+            if let Some(h) = plane.handle(i) {
+                h.state()
+                    .note_admission_outcomes(tick.gated as u64, tick.quarantined as u64);
+                break;
+            }
+        }
+        Ok(tick)
     }
 }
 
@@ -309,10 +402,10 @@ impl LearnerDaemon {
             let mut sink = Arc::clone(&state);
             while !stop.load(Ordering::Acquire) {
                 let reports = state.take_reports();
-                if let Err(e) = learner.absorb(reports, &mut sink) {
-                    // A malformed report must not kill the loop; the
-                    // filters for well-formed tasks keep serving.
-                    let _ = e;
+                // A malformed report must not kill the loop (the filters
+                // for well-formed tasks keep serving), hence the if-let.
+                if let Ok(tick) = learner.absorb(reports, &mut sink) {
+                    state.note_admission_outcomes(tick.gated as u64, tick.quarantined as u64);
                 }
                 std::thread::park_timeout(poll_interval);
             }
@@ -356,9 +449,11 @@ mod tests {
     use super::*;
     use dro_edge::transfer::serialize_prior;
 
-    fn report(task_id: u64, params: &[f64]) -> ReportedModel {
+    fn report(task_id: u64, device_id: u64, seq: u64, params: &[f64]) -> ReportedModel {
         ReportedModel {
             task_id,
+            device_id,
+            seq,
             params: params.to_vec(),
         }
     }
@@ -371,7 +466,12 @@ mod tests {
         (0..n)
             .map(|i| {
                 let src = if i % 2 == 0 { &a } else { &b };
-                report(task_id, &src.sample(&mut rng))
+                report(
+                    task_id,
+                    i as u64 % 5,
+                    i as u64 / 5 + 1,
+                    &src.sample(&mut rng),
+                )
             })
             .collect()
     }
@@ -482,9 +582,11 @@ mod tests {
             // Feed the inbox through the protocol handler, like the wire does.
             let ack = state.respond(&dre_serve::Message::ModelReport {
                 task_id: r.task_id,
+                device_id: r.device_id,
+                seq: r.seq,
                 params: r.params,
             });
-            assert_eq!(ack, dre_serve::Message::Ping);
+            assert_eq!(ack, dre_serve::Message::ReportAck { accepted: true });
         }
         let daemon = LearnerDaemon::spawn(
             Arc::clone(&state),
@@ -498,5 +600,73 @@ mod tests {
         assert_eq!(learner.filter_observations(4), 12);
         assert!(state.prior_entry(4).is_some(), "daemon published a prior");
         assert_eq!(state.report_backlog(), 0, "inbox fully drained");
+    }
+
+    #[test]
+    fn admission_gates_a_colluding_cohort_and_reports_counts() {
+        use crate::admission::{AdmissionConfig, ReputationState};
+
+        let state = Arc::new(ServerState::new());
+        let mut sink = Arc::clone(&state);
+        let mut learner = CloudLearner::try_new(LearnerConfig {
+            refresh_interval: 1000,
+            admission: Some(AdmissionConfig {
+                warmup: 8,
+                ..AdmissionConfig::default()
+            }),
+            ..LearnerConfig::default()
+        })
+        .unwrap();
+
+        // Warm the filter and the gate baseline with honest reports.
+        let honest = clustered_reports(1, 24, 17);
+        let tick = learner.absorb(honest, &mut sink).unwrap();
+        assert_eq!(tick.absorbed, 24);
+        assert_eq!(tick.gated, 0, "honest warmup is never gated");
+
+        // A colluding device floods an extreme off-manifold model.
+        let poison: Vec<ReportedModel> = (0..12)
+            .map(|i| report(1, 99, i + 1, &[80.0, -80.0]))
+            .collect();
+        let tick = learner.absorb(poison, &mut sink).unwrap();
+        assert_eq!(tick.absorbed, 0, "poison must never touch the filter");
+        assert_eq!(tick.gated, 12);
+        assert_eq!(tick.quarantined, 1, "the cohort device is quarantined");
+        assert_eq!(learner.filter_observations(1), 24);
+        let adm = learner.admission().unwrap();
+        assert_eq!(
+            adm.reputation(99).unwrap().state,
+            ReputationState::Quarantined
+        );
+
+        // Counter folding: the same numbers reach the server metrics via
+        // the handle-free path used by the daemon.
+        state.note_admission_outcomes(tick.gated as u64, tick.quarantined as u64);
+        let m = state.metrics();
+        assert_eq!(m.reports_gated, 12);
+        assert_eq!(m.devices_quarantined, 1);
+    }
+
+    #[test]
+    fn admission_is_a_no_op_on_honest_traffic() {
+        // With nothing to gate, admission ON publishes byte-identical
+        // priors to admission OFF — the gate only ever *removes* reports.
+        let run = |admission: Option<crate::admission::AdmissionConfig>| {
+            let state = Arc::new(ServerState::new());
+            let mut sink = Arc::clone(&state);
+            let mut learner = CloudLearner::new(LearnerConfig {
+                admission,
+                ..LearnerConfig::default()
+            });
+            learner
+                .absorb(clustered_reports(3, 24, 5), &mut sink)
+                .unwrap();
+            learner.force_refresh(&mut sink).unwrap();
+            state.prior_entry(3).unwrap().payload.as_ref().clone()
+        };
+        assert_eq!(
+            run(None),
+            run(Some(crate::admission::AdmissionConfig::default()))
+        );
     }
 }

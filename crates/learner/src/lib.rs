@@ -21,6 +21,16 @@
 //!   through a `ShardedPriorPlane`. Keep-alive clients observe each
 //!   refreshed generation through the lock-free snapshot path with zero
 //!   reconnects.
+//! * [`AdmissionState`] — Byzantine-robust report admission guarding the
+//!   refresh loop: each drained report is scored by its task filter's
+//!   collapsed predictive marginal ([`SirDpFilter::score_report`]) and
+//!   gated against a rolling quantile of admitted scores, while a
+//!   per-device reputation ledger (trusted → suspect → quarantined, with
+//!   seeded probation re-probes) quarantines repeat offenders. Enabled by
+//!   [`LearnerConfig::admission`] or the `DRE_ADMISSION` env knob
+//!   ([`admission_from_env`]); an admitted report's `push` reuses the
+//!   score's per-particle rows, so gating costs a few percent of the
+//!   ungated refresh.
 //! * [`LearnerDaemon`] — an optional background thread running the same
 //!   loop on a poll interval.
 //!
@@ -33,10 +43,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod elliptical;
 mod learner;
 mod sir;
 
+pub use admission::{
+    admission_from_env, AdmissionConfig, AdmissionOutcome, AdmissionState, DeviceReputation,
+    ReputationState,
+};
 pub use elliptical::elliptical_slice_step;
 pub use learner::{CloudLearner, LearnerConfig, LearnerDaemon, LearnerTick, PriorSink};
 pub use sir::{SirConfig, SirDpFilter};

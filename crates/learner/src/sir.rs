@@ -31,7 +31,7 @@
 //! parallel and under any thread count.
 
 use dre_bayes::{expected_covariance, MixturePrior};
-use dre_parallel::par_map_slice_min;
+use dre_parallel::{par_map_indexed_min, par_map_slice_min};
 use dre_prob::{
     seeded_rng, CategoricalScratch, MvNormal, NiwPosteriorCache, NormalInverseWishart,
 };
@@ -112,13 +112,23 @@ struct Particle {
 
 /// SplitMix64-style finalizer mixing `(seed, tag, index)` into one stream
 /// seed, so sibling particles and resample generations never share streams.
-fn mix_seed(seed: u64, tag: u64, index: u64) -> u64 {
+pub(crate) fn mix_seed(seed: u64, tag: u64, index: u64) -> u64 {
     let mut z = seed
         ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Per-particle CRP score rows memoized by [`SirDpFilter::score_report`]
+/// and consumed by the next [`SirDpFilter::push`] of the same report, so
+/// gating a report does not double the cost of absorbing it. Valid only
+/// while the ensemble is untouched — every mutator drains it on entry.
+#[derive(Debug, Clone)]
+struct ScoreMemo {
+    x: Vec<f64>,
+    rows: Vec<Vec<f64>>,
 }
 
 /// Streaming DP-mixture posterior tracker (see module docs).
@@ -132,6 +142,7 @@ pub struct SirDpFilter {
     template: NiwPosteriorCache,
     observations: usize,
     resamples: u64,
+    score_memo: Option<ScoreMemo>,
 }
 
 impl SirDpFilter {
@@ -160,6 +171,7 @@ impl SirDpFilter {
             template,
             observations: 0,
             resamples: 0,
+            score_memo: None,
         })
     }
 
@@ -201,16 +213,50 @@ impl SirDpFilter {
         sum * sum / sum_sq
     }
 
-    /// Absorbs one reported model: every particle proposes an assignment
-    /// from its own CRP-optimal proposal and reweights by its predictive
-    /// marginal; the ensemble then resamples if the ESS dropped below the
-    /// configured fraction.
+    /// Collapsed predictive log-marginal `log p(x | reports so far)` of the
+    /// current ensemble, **without** mutating the filter.
+    ///
+    /// Per particle this is exactly the Rao-Blackwellized weight update of
+    /// [`push`](Self::push) — `log Σ_k n_k·t_k(x) + α·t₀(x) − log(n+α)` over
+    /// that particle's partition — and the ensemble value averages the
+    /// per-particle marginals under the normalized importance weights (a
+    /// logsumexp over `log w_i + log m_i`). This is the quantity the report
+    /// admission gate scores against its rolling baseline: a report the DP
+    /// posterior finds wildly surprising gets a very negative value here.
     ///
     /// # Errors
     ///
     /// Returns an error on non-finite input or a dimension mismatch with
     /// the base measure.
-    pub fn push(&mut self, x: &[f64]) -> Result<()> {
+    pub fn predictive_log_marginal(&self, x: &[f64]) -> Result<f64> {
+        self.validate_report(x)?;
+        let rows = self.particle_score_rows(x);
+        Ok(self.ensemble_log_marginal(&rows))
+    }
+
+    /// [`predictive_log_marginal`](Self::predictive_log_marginal), but the
+    /// per-particle score rows are memoized: if the very next mutation is a
+    /// [`push`](Self::push) of this exact report, the push reuses the rows
+    /// instead of recomputing them, making an admitted report's gate check
+    /// nearly free. Any other mutation (or a push of a different report)
+    /// discards the memo, so the two methods are observably identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on non-finite input or a dimension mismatch with
+    /// the base measure.
+    pub fn score_report(&mut self, x: &[f64]) -> Result<f64> {
+        self.validate_report(x)?;
+        let rows = self.particle_score_rows(x);
+        let marginal = self.ensemble_log_marginal(&rows);
+        self.score_memo = Some(ScoreMemo {
+            x: x.to_vec(),
+            rows,
+        });
+        Ok(marginal)
+    }
+
+    fn validate_report(&self, x: &[f64]) -> Result<()> {
         if x.len() != self.base.dim() {
             return Err(LearnerError::InvalidReport {
                 reason: "report dimension does not match the base measure",
@@ -221,33 +267,94 @@ impl SirDpFilter {
                 reason: "report parameters must be finite",
             });
         }
-        let n = self.observations as f64;
+        Ok(())
+    }
+
+    /// Per-particle CRP score rows for `x`: row `i` holds
+    /// `log n_k + log t_k(x)` for each of particle `i`'s clusters plus a
+    /// final `log α + log t₀(x)` base-measure entry. This is the shared
+    /// kernel behind both the admission gate's marginal and the push-time
+    /// weight update / assignment proposal.
+    fn particle_score_rows(&self, x: &[f64]) -> Vec<Vec<f64>> {
         let alpha = self.config.alpha;
         let template = &self.template;
-        let old = std::mem::take(&mut self.particles);
-        // Pure per-particle step: each particle owns its RNG, so the loop
-        // is embarrassingly parallel and bit-identical to the serial path.
-        let stepped: Vec<Result<Particle>> = par_map_slice_min(&old, SIR_MIN_PAR_PARTICLES, |p| {
-            let mut p = p.clone();
+        par_map_slice_min(&self.particles, SIR_MIN_PAR_PARTICLES, |p| {
             let mut scores = Vec::with_capacity(p.clusters.len() + 1);
             for c in &p.clusters {
                 scores.push((c.len() as f64).ln() + c.predictive_log_pdf(x));
             }
             scores.push(alpha.ln() + template.predictive_log_pdf(x));
-            // Predictive marginal under the CRP mixture proposal — the
-            // Rao-Blackwellized weight update, independent of the draw.
-            let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-            let log_marginal =
-                max + scores.iter().map(|s| (s - max).exp()).sum::<f64>().ln() - (n + alpha).ln();
-            p.log_weight += log_marginal;
-            let mut scratch = CategoricalScratch::new();
-            let pick = scratch.sample_from_log_weights(&scores, &mut p.rng)?;
-            if pick == p.clusters.len() {
-                p.clusters.push(template.clone());
-            }
-            p.clusters[pick].insert(x)?;
-            Ok(p)
-        });
+            scores
+        })
+    }
+
+    /// Rao-Blackwellized per-particle marginal from one score row.
+    fn row_log_marginal(scores: &[f64], log_n_alpha: f64) -> f64 {
+        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        max + scores.iter().map(|s| (s - max).exp()).sum::<f64>().ln() - log_n_alpha
+    }
+
+    /// Importance-weighted logsumexp of the per-particle marginals.
+    fn ensemble_log_marginal(&self, rows: &[Vec<f64>]) -> f64 {
+        let log_n_alpha = (self.observations as f64 + self.config.alpha).ln();
+        let max_w = self
+            .particles
+            .iter()
+            .map(|p| p.log_weight)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let mut num = f64::NEG_INFINITY;
+        let mut den = 0.0;
+        let mut terms = Vec::with_capacity(self.particles.len());
+        for (p, scores) in self.particles.iter().zip(rows) {
+            let log_marginal = Self::row_log_marginal(scores, log_n_alpha);
+            let lw = p.log_weight - max_w;
+            terms.push(lw + log_marginal);
+            den += lw.exp();
+            num = num.max(lw + log_marginal);
+        }
+        let log_num = num + terms.iter().map(|t| (t - num).exp()).sum::<f64>().ln();
+        log_num - den.ln()
+    }
+
+    /// Absorbs one reported model: every particle proposes an assignment
+    /// from its own CRP-optimal proposal and reweights by its predictive
+    /// marginal; the ensemble then resamples if the ESS dropped below the
+    /// configured fraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on non-finite input or a dimension mismatch with
+    /// the base measure.
+    pub fn push(&mut self, x: &[f64]) -> Result<()> {
+        self.validate_report(x)?;
+        // Reuse the rows from an immediately preceding score_report of this
+        // exact report (the admission-gate fast path); recompute otherwise.
+        // Draining the memo here also guarantees no mutation can ever leave
+        // a stale memo behind.
+        let rows = match self.score_memo.take() {
+            Some(m) if m.x == x => m.rows,
+            _ => self.particle_score_rows(x),
+        };
+        let log_n_alpha = (self.observations as f64 + self.config.alpha).ln();
+        let template = &self.template;
+        let old = std::mem::take(&mut self.particles);
+        // Pure per-particle step: each particle owns its RNG, so the loop
+        // is embarrassingly parallel and bit-identical to the serial path.
+        let stepped: Vec<Result<Particle>> =
+            par_map_indexed_min(old.len(), SIR_MIN_PAR_PARTICLES, |i| {
+                let mut p = old[i].clone();
+                let scores = &rows[i];
+                // Predictive marginal under the CRP mixture proposal — the
+                // Rao-Blackwellized weight update, independent of the draw.
+                p.log_weight += Self::row_log_marginal(scores, log_n_alpha);
+                let mut scratch = CategoricalScratch::new();
+                let pick = scratch.sample_from_log_weights(scores, &mut p.rng)?;
+                if pick == p.clusters.len() {
+                    p.clusters.push(template.clone());
+                }
+                p.clusters[pick].insert(x)?;
+                Ok(p)
+            });
         let mut particles = Vec::with_capacity(stepped.len());
         for s in stepped {
             particles.push(s?);
@@ -521,6 +628,26 @@ mod tests {
                 "draw {d:?} far from either mode"
             );
         }
+    }
+
+    #[test]
+    fn predictive_log_marginal_ranks_inliers_above_outliers_without_mutating() {
+        let mut f = SirDpFilter::new(unit_base(2), SirConfig::default()).unwrap();
+        for x in two_cluster_reports(20, 11) {
+            f.push(&x).unwrap();
+        }
+        let before = dro_edge::transfer::serialize_prior(&f.to_mixture_prior().unwrap());
+        let inlier = f.predictive_log_marginal(&[4.0, 4.0]).unwrap();
+        let outlier = f.predictive_log_marginal(&[60.0, -60.0]).unwrap();
+        assert!(
+            inlier > outlier + 10.0,
+            "cluster center ({inlier}) must dominate a far outlier ({outlier})"
+        );
+        // Scoring is read-only: the ensemble collapses to the same bytes.
+        let after = dro_edge::transfer::serialize_prior(&f.to_mixture_prior().unwrap());
+        assert_eq!(before, after, "scoring must not mutate the filter");
+        assert!(f.predictive_log_marginal(&[1.0]).is_err());
+        assert!(f.predictive_log_marginal(&[f64::NAN, 0.0]).is_err());
     }
 
     #[test]

@@ -194,14 +194,38 @@ impl<C: Connector> PriorClient<C> {
         dro_edge::transfer::deserialize_prior(&payload).map_err(ServeError::Payload)
     }
 
-    /// Reports a locally fitted packed model; the server acknowledges with
-    /// `Ping`.
-    pub fn report_model(&mut self, task_id: u64, params: Vec<f64>) -> Result<()> {
-        match self.exchange(&Message::ModelReport { task_id, params }, None)? {
-            Message::Ping => Ok(()),
+    /// Reports a locally fitted packed model under this device's identity
+    /// and monotone sequence number; the server acknowledges with a
+    /// [`Message::ReportAck`]. Returns whether the report was accepted
+    /// into the inbox — `Ok(false)` means the server dropped it before
+    /// the inbox (replay, rate cap, or overflow shed), which is counted
+    /// in [`ServeMetrics::reports_rejected`] but is *not* an error: the
+    /// report leg stayed healthy, the payload just didn't land.
+    pub fn report_model(
+        &mut self,
+        task_id: u64,
+        device_id: u64,
+        seq: u64,
+        params: Vec<f64>,
+    ) -> Result<bool> {
+        let request = Message::ModelReport {
+            task_id,
+            device_id,
+            seq,
+            params,
+        };
+        match self.exchange(&request, None)? {
+            Message::ReportAck { accepted } => {
+                if !accepted {
+                    self.metrics
+                        .reports_rejected
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                Ok(accepted)
+            }
             other => Err(ServeError::UnexpectedMessage {
                 got: other.kind_name(),
-                expected: "Ping",
+                expected: "ReportAck",
             }),
         }
     }
@@ -397,13 +421,21 @@ mod tests {
         );
         client.ping().unwrap();
         assert_eq!(client.fetch_prior_payload(3).unwrap(), vec![0xAA; 16]);
-        client.report_model(3, vec![1.0, 2.0]).unwrap();
+        assert!(client.report_model(3, 1, 1, vec![1.0, 2.0]).unwrap());
         let m = client.metrics();
         assert_eq!(m.requests, 3);
         assert_eq!(m.responses_ok, 3);
         assert_eq!(m.retries, 0);
         assert_eq!(m.errors, 0);
+        assert_eq!(m.reports_rejected, 0);
         assert_eq!(state.take_reports().len(), 1);
+
+        // A replayed sequence number comes back rejected — visible to the
+        // device, still not an error.
+        assert!(!client.report_model(3, 1, 1, vec![1.0, 2.0]).unwrap());
+        let m = client.metrics();
+        assert_eq!(m.errors, 0);
+        assert_eq!(m.reports_rejected, 1);
     }
 
     #[test]

@@ -7,19 +7,21 @@
 //! ver      u8       frame version (1)
 //! kind     u8       0 Ping · 1 PriorRequest · 2 PriorResponse · 3 ModelReport
 //!                   · 4 Error · 5 Busy · 6 Health · 7 HealthReport
-//!                   · 8 ShardMapRequest · 9 ShardMapResponse
+//!                   · 8 ShardMapRequest · 9 ShardMapResponse · 10 ReportAck
 //! crc      u32 LE   CRC-32 (IEEE) over ver ‖ kind ‖ payload
 //! payload  bytes    kind-specific
 //! ```
 //!
 //! Payload encodings (all little-endian):
 //!
-//! * `Ping` — empty; doubles as the acknowledgement for `ModelReport`.
+//! * `Ping` — empty.
 //! * `PriorRequest` — `task_id: u64`.
 //! * `PriorResponse` — the existing [`dro_edge::transfer`] payload,
 //!   byte-for-byte unchanged inside the frame.
-//! * `ModelReport` — `task_id: u64`, `count: u32`, `count × f64` packed
-//!   parameters.
+//! * `ModelReport` — `task_id: u64`, `device_id: u64`, `seq: u64`,
+//!   `count: u32`, `count × f64` packed parameters. The device id names
+//!   the reporting edge device; `seq` is that device's monotone report
+//!   sequence number, letting the server drop replays and duplicates.
 //! * `Error` — `code: u8`, then UTF-8 detail text to the end of the frame.
 //! * `Busy` — `retry_after_ms: u32`: the server shed this request under
 //!   load; the client should back off at least that long before retrying.
@@ -33,6 +35,11 @@
 //!   shard addresses (`family: u8` = 4 or 6, 16 address bytes — v4 octets
 //!   zero-padded — then `port: u16`). Fixed-width addresses keep the frame
 //!   length a `const fn` of the shard count.
+//! * `ReportAck` — `accepted: u8` (1 accepted, 0 rejected); the
+//!   acknowledgement for `ModelReport`. Rejection means the report was
+//!   dropped before the inbox (replay, rate cap, or overflow shed) — a
+//!   protocol-level success, not an outage, so it spends no retry budget
+//!   and trips no breaker.
 //!
 //! Decoding checks the CRC *before* the version byte so that a corrupted
 //! version byte is classified as retryable corruption, not a fatal version
@@ -74,7 +81,12 @@ pub const fn prior_response_frame_len(k: usize, d: usize) -> usize {
 /// Exact wire size of a `ModelReport` frame for a packed `p`-parameter
 /// model.
 pub const fn model_report_frame_len(p: usize) -> usize {
-    FRAME_OVERHEAD + 8 + 4 + 8 * p
+    FRAME_OVERHEAD + 8 + 8 + 8 + 4 + 8 * p
+}
+
+/// Exact wire size of a `ReportAck` frame.
+pub const fn report_ack_frame_len() -> usize {
+    FRAME_OVERHEAD + 1
 }
 
 /// Exact wire size of a `Ping` frame.
@@ -275,7 +287,7 @@ impl std::fmt::Display for HealthStatus {
 /// One protocol message — the unit the client and server exchange.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
-    /// Liveness probe; also the acknowledgement for [`Message::ModelReport`].
+    /// Liveness probe.
     Ping,
     /// Edge → cloud: request the prior registered under `task_id`.
     PriorRequest {
@@ -293,6 +305,10 @@ pub enum Message {
     ModelReport {
         /// Task family the device belongs to.
         task_id: u64,
+        /// Identity of the reporting edge device.
+        device_id: u64,
+        /// The device's monotone report sequence number (starts at 1).
+        seq: u64,
         /// Packed model parameters `[w…, b]`.
         params: Vec<f64>,
     },
@@ -320,6 +336,12 @@ pub enum Message {
         /// The routing map.
         map: ShardMapWire,
     },
+    /// Cloud → edge: the acknowledgement for [`Message::ModelReport`].
+    ReportAck {
+        /// True when the report entered the inbox; false when it was
+        /// dropped before it (replay, rate cap, or overflow shed).
+        accepted: bool,
+    },
 }
 
 impl Message {
@@ -335,6 +357,7 @@ impl Message {
             Message::HealthReport(_) => 7,
             Message::ShardMapRequest => 8,
             Message::ShardMapResponse { .. } => 9,
+            Message::ReportAck { .. } => 10,
         }
     }
 
@@ -351,6 +374,7 @@ impl Message {
             Message::HealthReport(_) => "HealthReport",
             Message::ShardMapRequest => "ShardMapRequest",
             Message::ShardMapResponse { .. } => "ShardMapResponse",
+            Message::ReportAck { .. } => "ReportAck",
         }
     }
 
@@ -359,8 +383,15 @@ impl Message {
             Message::Ping => {}
             Message::PriorRequest { task_id } => out.extend_from_slice(&task_id.to_le_bytes()),
             Message::PriorResponse { payload } => out.extend_from_slice(payload),
-            Message::ModelReport { task_id, params } => {
+            Message::ModelReport {
+                task_id,
+                device_id,
+                seq,
+                params,
+            } => {
                 out.extend_from_slice(&task_id.to_le_bytes());
+                out.extend_from_slice(&device_id.to_le_bytes());
+                out.extend_from_slice(&seq.to_le_bytes());
                 out.extend_from_slice(&(params.len() as u32).to_le_bytes());
                 for p in params {
                     out.extend_from_slice(&p.to_le_bytes());
@@ -391,6 +422,7 @@ impl Message {
                     write_shard_addr(out, addr);
                 }
             }
+            Message::ReportAck { accepted } => out.push(u8::from(*accepted)),
         }
     }
 }
@@ -498,6 +530,10 @@ pub enum MessageRef<'a> {
     ModelReport {
         /// Task family the device belongs to.
         task_id: u64,
+        /// Identity of the reporting edge device.
+        device_id: u64,
+        /// The device's monotone report sequence number.
+        seq: u64,
         /// Packed model parameters, decoded lazily.
         params: ParamsRef<'a>,
     },
@@ -525,6 +561,11 @@ pub enum MessageRef<'a> {
         /// The routing map, addresses still in the frame buffer.
         map: ShardMapRef<'a>,
     },
+    /// See [`Message::ReportAck`].
+    ReportAck {
+        /// True when the report entered the inbox.
+        accepted: bool,
+    },
 }
 
 impl MessageRef<'_> {
@@ -541,6 +582,7 @@ impl MessageRef<'_> {
             MessageRef::HealthReport(_) => "HealthReport",
             MessageRef::ShardMapRequest => "ShardMapRequest",
             MessageRef::ShardMapResponse { .. } => "ShardMapResponse",
+            MessageRef::ReportAck { .. } => "ReportAck",
         }
     }
 
@@ -552,8 +594,15 @@ impl MessageRef<'_> {
             MessageRef::PriorResponse { payload } => Message::PriorResponse {
                 payload: payload.to_vec(),
             },
-            MessageRef::ModelReport { task_id, params } => Message::ModelReport {
+            MessageRef::ModelReport {
                 task_id,
+                device_id,
+                seq,
+                params,
+            } => Message::ModelReport {
+                task_id,
+                device_id,
+                seq,
                 params: params.to_vec(),
             },
             MessageRef::Error { code, detail } => Message::Error {
@@ -567,6 +616,7 @@ impl MessageRef<'_> {
             MessageRef::ShardMapResponse { map } => Message::ShardMapResponse {
                 map: map.to_wire(),
             },
+            MessageRef::ReportAck { accepted } => Message::ReportAck { accepted },
         }
     }
 }
@@ -647,22 +697,32 @@ pub fn decode_body_ref(body: &[u8]) -> Result<MessageRef<'_>> {
         }
         2 => Ok(MessageRef::PriorResponse { payload }),
         3 => {
-            if payload.len() < 12 {
+            const HEADER: usize = 8 + 8 + 8 + 4;
+            if payload.len() < HEADER {
                 return Err(ServeError::MalformedFrame {
                     reason: "ModelReport payload shorter than its header",
                 });
             }
             let task_id = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
-            let count = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes")) as usize;
-            if payload.len() != 12 + 8 * count {
+            let device_id = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+            let seq = u64::from_le_bytes(payload[16..24].try_into().expect("8 bytes"));
+            let count = u32::from_le_bytes(payload[24..28].try_into().expect("4 bytes")) as usize;
+            if payload.len() != HEADER + 8 * count {
                 return Err(ServeError::MalformedFrame {
                     reason: "ModelReport parameter count disagrees with its length",
                 });
             }
+            if seq == 0 {
+                return Err(ServeError::MalformedFrame {
+                    reason: "ModelReport sequence numbers start at 1",
+                });
+            }
             Ok(MessageRef::ModelReport {
                 task_id,
+                device_id,
+                seq,
                 params: ParamsRef {
-                    raw: &payload[12..],
+                    raw: &payload[HEADER..],
                 },
             })
         }
@@ -756,6 +816,20 @@ pub fn decode_body_ref(body: &[u8]) -> Result<MessageRef<'_>> {
                     raw_shards,
                 },
             })
+        }
+        10 => {
+            if payload.len() != 1 {
+                return Err(ServeError::MalformedFrame {
+                    reason: "ReportAck payload is not exactly a status byte",
+                });
+            }
+            match payload[0] {
+                0 => Ok(MessageRef::ReportAck { accepted: false }),
+                1 => Ok(MessageRef::ReportAck { accepted: true }),
+                _ => Err(ServeError::MalformedFrame {
+                    reason: "ReportAck status byte is neither 0 nor 1",
+                }),
+            }
         }
         _ => Err(ServeError::MalformedFrame {
             reason: "unknown message kind",
@@ -891,6 +965,8 @@ mod tests {
             },
             Message::ModelReport {
                 task_id: 7,
+                device_id: 31,
+                seq: 2,
                 params: vec![0.5, -1.25, 3.0],
             },
             Message::Error {
@@ -918,6 +994,8 @@ mod tests {
                     ],
                 },
             },
+            Message::ReportAck { accepted: true },
+            Message::ReportAck { accepted: false },
         ]
     }
 
@@ -939,10 +1017,16 @@ mod tests {
         assert_eq!(
             encode(&Message::ModelReport {
                 task_id: 1,
+                device_id: 2,
+                seq: 1,
                 params: vec![0.0; 9],
             })
             .len(),
             model_report_frame_len(9)
+        );
+        assert_eq!(
+            encode(&Message::ReportAck { accepted: false }).len(),
+            report_ack_frame_len()
         );
         // PriorResponse length = overhead + transfer payload, unchanged.
         let payload = vec![0xAB; dro_edge::transfer::encoded_len(3, 4)];
@@ -1085,8 +1169,14 @@ mod tests {
         bad_family.extend_from_slice(&good_addr(9, 0));
         let mut dirty_pad = map_header(1, 8, 1);
         dirty_pad.extend_from_slice(&good_addr(4, 0xAA));
+        // ModelReport with a full header but seq = 0 (sequence numbers
+        // start at 1), and one cut a byte short of its header.
+        let report_zero_seq = vec![0u8; 28];
+        let report_short = vec![0u8; 27];
         for (kind, payload) in [
-            (5u8, vec![1u8, 2]),
+            (3u8, report_zero_seq),
+            (3, report_short),
+            (5, vec![1u8, 2]),
             (6, vec![9]),
             (7, vec![0; 23]),
             (8, vec![1]),
@@ -1095,6 +1185,9 @@ mod tests {
             (9, zero_rep),
             (9, bad_family),
             (9, dirty_pad),
+            (10, vec![2]),
+            (10, vec![1, 1]),
+            (10, vec![]),
         ] {
             let mut body = vec![FRAME_VERSION, kind, 0, 0, 0, 0];
             body.extend_from_slice(&payload);

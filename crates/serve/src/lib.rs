@@ -67,7 +67,7 @@ pub use crc32::{crc32, Crc32};
 pub use error::{Result, ServeError};
 pub use frame::{
     busy_frame_len, health_frame_len, health_report_frame_len, model_report_frame_len,
-    ping_frame_len, prior_request_frame_len, prior_response_frame_len,
+    ping_frame_len, prior_request_frame_len, prior_response_frame_len, report_ack_frame_len,
     shard_map_request_frame_len, shard_map_response_frame_len, ErrorCode, HealthStatus, Message,
     MessageRef, ParamsRef, ShardMapRef, ShardMapWire, DEFAULT_MAX_FRAME_LEN, FRAME_OVERHEAD,
     FRAME_VERSION, SHARD_ADDR_WIRE_LEN,
@@ -79,7 +79,8 @@ pub use runtime::{EdgeRuntime, EdgeRuntimeConfig, RuntimeCounters, RuntimeFit};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServeMetrics, LATENCY_BUCKETS};
 pub use server::{
     InMemoryServer, PriorEntry, PriorServer, PriorView, ReportedModel, ResponseBytes, ServeConfig,
-    ServerHandle, ServerState, ShardRoute, DEFAULT_REPORT_INBOX_CAP, MAX_ERROR_DETAIL_BYTES,
+    ServerHandle, ServerState, ShardRoute, DEFAULT_REPORT_DEVICE_CAP, DEFAULT_REPORT_INBOX_CAP,
+    MAX_ERROR_DETAIL_BYTES,
 };
 pub use shard::{
     default_shards, stable_shard_hash, HashRing, ShardConnector, ShardDirectory, ShardMap,

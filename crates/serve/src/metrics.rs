@@ -127,8 +127,23 @@ pub struct ServeMetrics {
     /// Model reports dropped because the report inbox was at its
     /// configured cap ([`crate::server::ServeConfig::report_inbox_cap`]) —
     /// a report flood degrades into counted shedding instead of unbounded
-    /// memory growth (server only).
+    /// memory growth (server only). Per-device rate-cap drops land here
+    /// too: both are capacity drops taken before the inbox.
     pub reports_shed: AtomicU64,
+    /// Model reports dropped because their sequence number was at or
+    /// below the device's last accepted one — a replayed or duplicated
+    /// frame (server only).
+    pub reports_replayed: AtomicU64,
+    /// Reports gated by the learner's predictive admission check — scored
+    /// against the SIR filter's collapsed predictive marginal and found
+    /// too surprising to enter the filter (folded in by the learner).
+    pub reports_gated: AtomicU64,
+    /// Devices moved into the quarantined reputation state by the
+    /// learner's admission ledger (folded in by the learner).
+    pub devices_quarantined: AtomicU64,
+    /// `ReportAck { accepted: false }` replies observed (client only):
+    /// the server dropped this device's report before the inbox.
+    pub reports_rejected: AtomicU64,
     /// Per-exchange latency distribution.
     pub latency: LatencyHistogram,
 }
@@ -165,6 +180,10 @@ impl ServeMetrics {
             replica_fanouts: self.replica_fanouts.load(Ordering::Relaxed),
             misroutes: self.misroutes.load(Ordering::Relaxed),
             reports_shed: self.reports_shed.load(Ordering::Relaxed),
+            reports_replayed: self.reports_replayed.load(Ordering::Relaxed),
+            reports_gated: self.reports_gated.load(Ordering::Relaxed),
+            devices_quarantined: self.devices_quarantined.load(Ordering::Relaxed),
+            reports_rejected: self.reports_rejected.load(Ordering::Relaxed),
             latency_buckets: self.latency.snapshot(),
         }
     }
@@ -217,8 +236,16 @@ pub struct MetricsSnapshot {
     pub replica_fanouts: u64,
     /// Misrouted prior requests answered with a retryable redirect.
     pub misroutes: u64,
-    /// Model reports dropped at the report-inbox cap.
+    /// Model reports dropped at the report-inbox cap or a device rate cap.
     pub reports_shed: u64,
+    /// Model reports dropped as replays/duplicates.
+    pub reports_replayed: u64,
+    /// Reports gated by the learner's predictive admission check.
+    pub reports_gated: u64,
+    /// Devices quarantined by the learner's reputation ledger.
+    pub devices_quarantined: u64,
+    /// Rejected report acks observed by the client.
+    pub reports_rejected: u64,
     /// Log2-spaced latency bucket counts.
     pub latency_buckets: [u64; LATENCY_BUCKETS],
 }
@@ -234,7 +261,7 @@ impl MetricsSnapshot {
     /// `wouldblock_reads` and `batched_writes` are deliberately absent:
     /// both depend on how the kernel slices bytes across readiness
     /// windows, which no seed controls.
-    pub fn deterministic_counters(&self) -> [u64; 21] {
+    pub fn deterministic_counters(&self) -> [u64; 25] {
         [
             self.requests,
             self.responses_ok,
@@ -257,6 +284,10 @@ impl MetricsSnapshot {
             self.replica_fanouts,
             self.misroutes,
             self.reports_shed,
+            self.reports_replayed,
+            self.reports_gated,
+            self.devices_quarantined,
+            self.reports_rejected,
         ]
     }
 }
@@ -296,6 +327,14 @@ impl fmt::Display for MetricsSnapshot {
             self.replica_fanouts,
             self.misroutes,
             self.reports_shed
+        )?;
+        writeln!(
+            f,
+            "reports_replayed={} reports_gated={} devices_quarantined={} reports_rejected={}",
+            self.reports_replayed,
+            self.reports_gated,
+            self.devices_quarantined,
+            self.reports_rejected
         )?;
         write!(f, "latency:")?;
         let mut any = false;

@@ -30,6 +30,10 @@ use crate::Result as ServeResult;
 pub struct EdgeRuntimeConfig {
     /// Task family this device fetches priors for.
     pub task_id: u64,
+    /// This device's identity on the report path: stamped into every
+    /// `ModelReport` along with a monotone sequence number, so the server
+    /// can drop replays and rate-limit per device.
+    pub device_id: u64,
     /// Learner configuration for prior-based fits.
     pub learner: EdgeLearnerConfig,
     /// Ridge strength of the local-only ERM fallback.
@@ -53,6 +57,7 @@ impl Default for EdgeRuntimeConfig {
     fn default() -> Self {
         EdgeRuntimeConfig {
             task_id: 0,
+            device_id: 0,
             learner: EdgeLearnerConfig::default(),
             erm_lambda: 1e-3,
             breaker: BreakerConfig::default(),
@@ -72,7 +77,9 @@ pub struct RuntimeFit {
     pub mode: FitMode,
     /// Breaker state after the step.
     pub breaker: BreakerState,
-    /// Whether the model was successfully reported back to the cloud.
+    /// Whether the model was reported back *and accepted* by the cloud —
+    /// a rejected ack ([`crate::frame::Message::ReportAck`]) leaves this
+    /// false without counting as a report failure.
     pub reported: bool,
 }
 
@@ -91,6 +98,10 @@ pub struct RuntimeCounters {
     pub short_circuits: u64,
     /// Best-effort model reports that failed.
     pub report_failures: u64,
+    /// Reports the server answered with a rejected ack (replay, rate cap,
+    /// or shed). Unlike `report_failures` this spends no breaker budget:
+    /// the link is healthy, the payload was just refused.
+    pub reports_rejected: u64,
 }
 
 /// A device's fetch→fit→report loop with circuit breaking, stale-prior
@@ -101,6 +112,9 @@ pub struct EdgeRuntime<C: Connector> {
     breaker: CircuitBreaker,
     cache: StalePriorCache,
     step: u64,
+    /// Monotone sequence number stamped into reports (next report gets
+    /// `report_seq + 1`).
+    report_seq: u64,
     mode_trace: Vec<FitMode>,
     counters: RuntimeCounters,
 }
@@ -116,6 +130,7 @@ impl<C: Connector> EdgeRuntime<C> {
             breaker,
             cache,
             step: 0,
+            report_seq: 0,
             mode_trace: Vec::new(),
             counters: RuntimeCounters::default(),
         }
@@ -203,7 +218,10 @@ impl<C: Connector> EdgeRuntime<C> {
         let mut reported = false;
         if self.config.report_models && mode == FitMode::FreshPrior {
             match self.report(&model) {
-                Ok(()) => reported = true,
+                Ok(true) => reported = true,
+                // A rejected ack is a healthy reply: no breaker penalty,
+                // just a counted refusal the device can observe.
+                Ok(false) => self.counters.reports_rejected += 1,
                 Err(_) => {
                     self.counters.report_failures += 1;
                     self.breaker.on_failure(step);
@@ -220,9 +238,18 @@ impl<C: Connector> EdgeRuntime<C> {
         })
     }
 
-    fn report(&mut self, model: &LinearModel) -> ServeResult<()> {
-        self.client
-            .report_model(self.config.task_id, model.to_packed())
+    fn report(&mut self, model: &LinearModel) -> ServeResult<bool> {
+        let seq = self.report_seq + 1;
+        let accepted = self.client.report_model(
+            self.config.task_id,
+            self.config.device_id,
+            seq,
+            model.to_packed(),
+        )?;
+        // The number is burned whether or not the server kept the report:
+        // reusing it would read as a replay.
+        self.report_seq = seq;
+        Ok(accepted)
     }
 }
 

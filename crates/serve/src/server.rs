@@ -89,6 +89,11 @@ fn default_workers() -> usize {
 /// undrained inbox stays bounded (~64k reports).
 pub const DEFAULT_REPORT_INBOX_CAP: usize = 64 << 10;
 
+/// Default [`ServeConfig::report_device_cap`]: far above any honest
+/// device's report cadence between learner drains, low enough that one
+/// looping device cannot fill the shared inbox by itself.
+pub const DEFAULT_REPORT_DEVICE_CAP: usize = 1 << 10;
+
 /// Tuning knobs for [`PriorServer::bind`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -138,6 +143,12 @@ pub struct ServeConfig {
     /// growth. A learner draining via [`ServerState::take_reports`] keeps
     /// the inbox far below the cap in normal operation.
     pub report_inbox_cap: usize,
+    /// Per-device rate cap: reports a single device id may land in the
+    /// inbox between learner drains. Reports beyond it are rejected and
+    /// counted in [`ServeMetrics::reports_shed`] — one looping or
+    /// flooding device degrades into counted shedding without crowding
+    /// out the rest of the fleet.
+    pub report_device_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -155,6 +166,7 @@ impl Default for ServeConfig {
             buffer_high_water: 64 << 10,
             poll_interval: Duration::from_millis(10),
             report_inbox_cap: DEFAULT_REPORT_INBOX_CAP,
+            report_device_cap: DEFAULT_REPORT_DEVICE_CAP,
         }
     }
 }
@@ -173,8 +185,31 @@ impl ServeConfig {
 pub struct ReportedModel {
     /// Task family the device belongs to.
     pub task_id: u64,
+    /// Identity of the reporting edge device.
+    pub device_id: u64,
+    /// The device's monotone report sequence number (starts at 1).
+    pub seq: u64,
     /// Packed model parameters `[w…, b]`.
     pub params: Vec<f64>,
+}
+
+/// Per-device admission state kept next to the inbox: the highest
+/// sequence number accepted (replays never rewind it) and the number of
+/// reports this device has landed since the last drain (the rate-cap
+/// window).
+#[derive(Debug, Clone, Copy, Default)]
+struct DeviceWindow {
+    last_seq: u64,
+    since_drain: u64,
+}
+
+/// The report inbox plus the per-device replay/rate state that guards it.
+/// One mutex covers both so an admission decision and its push are atomic
+/// with respect to a concurrent drain.
+#[derive(Debug, Default)]
+struct ReportInbox {
+    entries: Vec<ReportedModel>,
+    devices: HashMap<u64, DeviceWindow>,
 }
 
 /// One registered prior: the raw transfer payload plus the fully encoded
@@ -312,11 +347,15 @@ pub struct ServerState {
     /// Lock-free copy of the published generation; readers revalidate
     /// their [`PriorView`] against this with one atomic load per request.
     generation: AtomicU64,
-    /// Models reported by edge devices, in arrival order.
-    reports: Mutex<Vec<ReportedModel>>,
+    /// Models reported by edge devices, in arrival order, plus the
+    /// per-device replay/rate state guarding admission into it.
+    reports: Mutex<ReportInbox>,
     /// Inbox cap enforced on `ModelReport` arrivals; reports beyond it
-    /// are acknowledged but shed ([`ServeMetrics::reports_shed`]).
+    /// are rejected and shed ([`ServeMetrics::reports_shed`]).
     report_inbox_cap: AtomicU64,
+    /// Per-device rate cap enforced on `ModelReport` arrivals between
+    /// drains ([`ServeConfig::report_device_cap`]).
+    report_device_cap: AtomicU64,
     /// Server-side transfer metrics.
     metrics: ServeMetrics,
     /// Connections handed to a worker but not yet adopted by its loop.
@@ -344,8 +383,9 @@ impl Default for ServerState {
                 generation: 0,
             }),
             generation: AtomicU64::new(0),
-            reports: Mutex::new(Vec::new()),
+            reports: Mutex::new(ReportInbox::default()),
             report_inbox_cap: AtomicU64::new(DEFAULT_REPORT_INBOX_CAP as u64),
+            report_device_cap: AtomicU64::new(DEFAULT_REPORT_DEVICE_CAP as u64),
             metrics: ServeMetrics::new(),
             pending: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
@@ -374,9 +414,10 @@ impl ServerState {
         })
     }
 
-    /// The reports log, recovering from poisoning (a `Vec::push` either
-    /// happened or did not — both leave a valid log).
-    fn reports_lock(&self) -> MutexGuard<'_, Vec<ReportedModel>> {
+    /// The reports log, recovering from poisoning (a push and its
+    /// device-window update either happened or did not — both leave a
+    /// valid inbox).
+    fn reports_lock(&self) -> MutexGuard<'_, ReportInbox> {
         self.slow_path_locks.fetch_add(1, Ordering::Relaxed);
         self.reports.lock().unwrap_or_else(|poisoned| {
             self.metrics.lock_recoveries.fetch_add(1, Ordering::Relaxed);
@@ -511,25 +552,55 @@ impl ServerState {
     /// learner's drain loop) should call [`ServerState::take_reports`]
     /// instead.
     pub fn reports(&self) -> Vec<ReportedModel> {
-        self.reports_lock().clone()
+        self.reports_lock().entries.clone()
     }
 
     /// Drains the report inbox: returns every buffered report, in arrival
     /// order, leaving the inbox empty — no clone, and the freed capacity
-    /// re-opens the [`ServeConfig::report_inbox_cap`] admission window.
+    /// re-opens both the [`ServeConfig::report_inbox_cap`] admission
+    /// window and every device's [`ServeConfig::report_device_cap`]
+    /// window. Replay protection survives the drain: each device's
+    /// last-accepted sequence number is kept, so a replayed frame is
+    /// still dropped after the learner has consumed the original.
     pub fn take_reports(&self) -> Vec<ReportedModel> {
-        std::mem::take(&mut *self.reports_lock())
+        let mut inbox = self.reports_lock();
+        for window in inbox.devices.values_mut() {
+            window.since_drain = 0;
+        }
+        std::mem::take(&mut inbox.entries)
     }
 
     /// Number of reports currently buffered in the inbox.
     pub fn report_backlog(&self) -> usize {
-        self.reports_lock().len()
+        self.reports_lock().entries.len()
     }
 
     /// Overrides the report-inbox cap (normally set from
     /// [`ServeConfig::report_inbox_cap`] at bind time).
     pub fn set_report_inbox_cap(&self, cap: usize) {
         self.report_inbox_cap.store(cap as u64, Ordering::Relaxed);
+    }
+
+    /// Overrides the per-device rate cap (normally set from
+    /// [`ServeConfig::report_device_cap`] at bind time).
+    pub fn set_report_device_cap(&self, cap: usize) {
+        self.report_device_cap.store(cap as u64, Ordering::Relaxed);
+    }
+
+    /// Folds learner-side admission outcomes into this server's metrics:
+    /// `gated` reports scored out by the predictive gate and `quarantined`
+    /// devices newly moved into quarantine. The admission decision lives
+    /// in `dre-learner`; the counters live here so one
+    /// [`MetricsSnapshot`] tells the whole report-path story.
+    pub fn note_admission_outcomes(&self, gated: u64, quarantined: u64) {
+        if gated > 0 {
+            self.metrics.reports_gated.fetch_add(gated, Ordering::Relaxed);
+        }
+        if quarantined > 0 {
+            self.metrics
+                .devices_quarantined
+                .fetch_add(quarantined, Ordering::Relaxed);
+        }
     }
 
     /// Point-in-time server metrics.
@@ -574,6 +645,47 @@ impl ServerState {
         })
     }
 
+    /// The report-admission decision taken before the inbox, under one
+    /// lock so it is atomic with respect to a concurrent drain:
+    ///
+    /// 1. **Replay drop** — a sequence number at or below the device's
+    ///    last accepted one is a replayed or duplicated frame
+    ///    ([`ServeMetrics::reports_replayed`]); the device's window does
+    ///    not advance.
+    /// 2. **Rate cap** — a device that already landed
+    ///    [`ServeConfig::report_device_cap`] reports since the last drain
+    ///    is shed ([`ServeMetrics::reports_shed`]); its sequence number
+    ///    still advances, so the dropped report cannot be replayed later.
+    /// 3. **Inbox cap** — overflow past
+    ///    [`ServeConfig::report_inbox_cap`] is shed the same way.
+    ///
+    /// Returns whether the report entered the inbox — the bit carried
+    /// back in [`Message::ReportAck`].
+    fn admit_report(&self, task_id: u64, device_id: u64, seq: u64, params: &[f64]) -> bool {
+        let inbox_cap = self.report_inbox_cap.load(Ordering::Relaxed) as usize;
+        let device_cap = self.report_device_cap.load(Ordering::Relaxed);
+        let mut guard = self.reports_lock();
+        let inbox = &mut *guard;
+        let window = inbox.devices.entry(device_id).or_default();
+        if seq <= window.last_seq {
+            self.metrics.reports_replayed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        window.last_seq = seq;
+        if window.since_drain >= device_cap || inbox.entries.len() >= inbox_cap {
+            self.metrics.reports_shed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        window.since_drain += 1;
+        inbox.entries.push(ReportedModel {
+            task_id,
+            device_id,
+            seq,
+            params: params.to_vec(),
+        });
+        true
+    }
+
     /// The protocol's request → response function.
     pub fn respond(&self, request: &Message) -> Message {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
@@ -613,23 +725,20 @@ impl ServerState {
                     detail: "this server is not part of a sharded plane".into(),
                 },
             },
-            Message::ModelReport { task_id, params } => {
-                // Shed-at-cap keeps the reply a positive ack either way:
-                // the device's report leg must never look like an outage
-                // (that would spend degradation rungs), so overload is
-                // absorbed server-side and surfaced through the
-                // `reports_shed` counter.
-                let cap = self.report_inbox_cap.load(Ordering::Relaxed) as usize;
-                let mut inbox = self.reports_lock();
-                if inbox.len() >= cap {
-                    self.metrics.reports_shed.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    inbox.push(ReportedModel {
-                        task_id: *task_id,
-                        params: params.clone(),
-                    });
-                }
-                Message::Ping
+            Message::ModelReport {
+                task_id,
+                device_id,
+                seq,
+                params,
+            } => {
+                // Every drop — replay, rate cap, or inbox overflow — is
+                // answered with a ReportAck whose bit says "rejected",
+                // never a protocol error: the device's report leg must not
+                // look like an outage (that would spend degradation
+                // rungs), but the client can still tell absorbed from
+                // dropped without diffing counters.
+                let accepted = self.admit_report(*task_id, *device_id, *seq, params);
+                Message::ReportAck { accepted }
             }
             other => Message::Error {
                 code: ErrorCode::Unexpected,
@@ -1147,6 +1256,7 @@ impl PriorServer {
         })?;
         let state = Arc::new(ServerState::new());
         state.set_report_inbox_cap(config.report_inbox_cap);
+        state.set_report_device_cap(config.report_device_cap);
         let shutdown = Arc::new(AtomicBool::new(false));
 
         let workers = config.workers.max(1);
@@ -1342,9 +1452,11 @@ mod tests {
         assert_eq!(
             state.respond(&Message::ModelReport {
                 task_id: 7,
+                device_id: 3,
+                seq: 1,
                 params: vec![1.0, 2.0],
             }),
-            Message::Ping
+            Message::ReportAck { accepted: true }
         );
         // Consume-once semantics: the drain hands the report over and
         // leaves the inbox empty.
@@ -1352,6 +1464,8 @@ mod tests {
             state.take_reports(),
             vec![ReportedModel {
                 task_id: 7,
+                device_id: 3,
+                seq: 1,
                 params: vec![1.0, 2.0],
             }]
         );
@@ -1370,19 +1484,25 @@ mod tests {
         assert_eq!(m.errors, 2);
     }
 
+    fn report(task_id: u64, device_id: u64, seq: u64, params: Vec<f64>) -> Message {
+        Message::ModelReport {
+            task_id,
+            device_id,
+            seq,
+            params,
+        }
+    }
+
     #[test]
-    fn report_inbox_cap_sheds_with_an_ack_and_draining_reopens_the_window() {
+    fn report_inbox_cap_sheds_with_a_rejected_ack_and_draining_reopens_the_window() {
         let state = ServerState::new();
         state.set_report_inbox_cap(2);
-        for i in 0..5 {
-            // Every report — kept or shed — is answered with a positive
-            // ack, so a flooding fleet never sees its report leg fail.
+        for i in 0..5u64 {
+            // Every report is answered with a ReportAck, never an error —
+            // a flooding fleet sees its overflow *rejected*, not failed.
             assert_eq!(
-                state.respond(&Message::ModelReport {
-                    task_id: 1,
-                    params: vec![i as f64],
-                }),
-                Message::Ping
+                state.respond(&report(1, i, 1, vec![i as f64])),
+                Message::ReportAck { accepted: i < 2 }
             );
         }
         // The inbox holds exactly the cap; the overflow was counted shed.
@@ -1395,14 +1515,68 @@ mod tests {
 
         // Draining re-opened the admission window.
         assert_eq!(
-            state.respond(&Message::ModelReport {
-                task_id: 1,
-                params: vec![9.0],
-            }),
-            Message::Ping
+            state.respond(&report(1, 9, 1, vec![9.0])),
+            Message::ReportAck { accepted: true }
         );
         assert_eq!(state.report_backlog(), 1);
         assert_eq!(state.metrics().reports_shed, 3);
+    }
+
+    #[test]
+    fn replayed_and_rate_capped_reports_are_rejected_before_the_inbox() {
+        let state = ServerState::new();
+        state.set_report_device_cap(2);
+
+        // Fresh sequence numbers are accepted up to the device cap.
+        assert_eq!(
+            state.respond(&report(1, 42, 1, vec![1.0])),
+            Message::ReportAck { accepted: true }
+        );
+        // An equal or rewound sequence number is a replay.
+        assert_eq!(
+            state.respond(&report(1, 42, 1, vec![1.0])),
+            Message::ReportAck { accepted: false }
+        );
+        assert_eq!(state.metrics().reports_replayed, 1);
+        // The next fresh number still gets in…
+        assert_eq!(
+            state.respond(&report(1, 42, 2, vec![2.0])),
+            Message::ReportAck { accepted: true }
+        );
+        // …but the device is now at its rate cap: shed, with the sequence
+        // window still advancing so this frame cannot be replayed later.
+        assert_eq!(
+            state.respond(&report(1, 42, 3, vec![3.0])),
+            Message::ReportAck { accepted: false }
+        );
+        assert_eq!(state.metrics().reports_shed, 1);
+        assert_eq!(
+            state.respond(&report(1, 42, 3, vec![3.0])),
+            Message::ReportAck { accepted: false }
+        );
+        assert_eq!(state.metrics().reports_replayed, 2);
+
+        // Another device is unaffected by 42's window.
+        assert_eq!(
+            state.respond(&report(1, 43, 1, vec![7.0])),
+            Message::ReportAck { accepted: true }
+        );
+
+        // Draining resets the rate window but not replay protection.
+        let kept = state.take_reports();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(kept[0].seq, 1);
+        assert_eq!(kept[1].seq, 2);
+        assert_eq!(
+            state.respond(&report(1, 42, 4, vec![4.0])),
+            Message::ReportAck { accepted: true }
+        );
+        assert_eq!(
+            state.respond(&report(1, 42, 2, vec![2.0])),
+            Message::ReportAck { accepted: false },
+            "a consumed report's sequence number must stay burned"
+        );
+        assert_eq!(state.metrics().reports_replayed, 3);
     }
 
     #[test]

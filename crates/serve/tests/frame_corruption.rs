@@ -204,3 +204,134 @@ fn corrupted_version_byte_is_retryable_not_fatal() {
         assert!(err.is_retryable());
     }
 }
+
+/// A valid random report: finite params, nonzero identity fields.
+fn random_report(p: usize, seed: u64) -> Message {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Message::ModelReport {
+        task_id: rng.gen_range(0..1_000_000),
+        device_id: rng.gen_range(0..u64::MAX),
+        seq: rng.gen_range(1..u64::MAX),
+        params: (0..p).map(|_| rng.gen_range(-100.0..100.0)).collect(),
+    }
+}
+
+#[test]
+fn report_plane_kinds_reject_every_single_byte_corruption() {
+    // The report path (3 ModelReport with its widened device_id + seq
+    // header, 10 ReportAck in both accept states) gets the same guarantee
+    // as the prior path: clean frames round-trip field-for-field, and any
+    // single-byte corruption is caught by the length check or CRC.
+    let mut runner = proptest::test_runner::TestRunner::deterministic();
+    let cases = (1usize..8, 0u64..1_000_000, 1u64..256);
+    runner
+        .run(&cases, |(p, seed, flip)| {
+            let msg = random_report(p, seed);
+            let framed = frame::encode(&msg);
+            prop_assert_eq!(framed.len(), frame::model_report_frame_len(p));
+
+            match (frame::decode(&framed), &msg) {
+                (
+                    Ok(Message::ModelReport {
+                        task_id,
+                        device_id,
+                        seq,
+                        params,
+                    }),
+                    Message::ModelReport {
+                        task_id: t,
+                        device_id: d,
+                        seq: s,
+                        params: pp,
+                    },
+                ) => {
+                    prop_assert_eq!(task_id, *t);
+                    prop_assert_eq!(device_id, *d);
+                    prop_assert_eq!(seq, *s);
+                    prop_assert_eq!(&params, pp);
+                }
+                (other, _) => {
+                    return Err(proptest::test_runner::TestCaseError::fail(format!(
+                        "clean report failed to decode: {other:?}"
+                    )))
+                }
+            }
+
+            let flip = flip as u8;
+            for pos in 0..framed.len() {
+                let mut corrupted = framed.clone();
+                corrupted[pos] ^= flip;
+                match frame::decode(&corrupted) {
+                    Err(ServeError::ChecksumMismatch { .. })
+                    | Err(ServeError::MalformedFrame { .. }) => {}
+                    Ok(m) => {
+                        return Err(proptest::test_runner::TestCaseError::fail(format!(
+                            "report byte {pos} xor {flip:#04x} slipped through as {}",
+                            m.kind_name()
+                        )))
+                    }
+                    Err(other) => {
+                        return Err(proptest::test_runner::TestCaseError::fail(format!(
+                            "report byte {pos} xor {flip:#04x}: unexpected error class {other}"
+                        )))
+                    }
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+
+    for accepted in [true, false] {
+        let framed = frame::encode(&Message::ReportAck { accepted });
+        assert_eq!(framed.len(), frame::report_ack_frame_len());
+        match frame::decode(&framed) {
+            Ok(Message::ReportAck { accepted: back }) => assert_eq!(accepted, back),
+            other => panic!("clean ack failed to decode: {other:?}"),
+        }
+        for pos in 0..framed.len() {
+            for flip in 1..=255u8 {
+                let mut corrupted = framed.clone();
+                corrupted[pos] ^= flip;
+                match frame::decode(&corrupted) {
+                    Err(ServeError::ChecksumMismatch { .. })
+                    | Err(ServeError::MalformedFrame { .. }) => {}
+                    Ok(m) => panic!(
+                        "ack byte {pos} xor {flip:#04x} slipped through as {}",
+                        m.kind_name()
+                    ),
+                    Err(other) => panic!(
+                        "ack byte {pos} xor {flip:#04x}: unexpected error class {other}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn report_version_skew_stays_fatal_but_crc_corruption_stays_retryable() {
+    // Same taxonomy as the shard-map frames, on both report-plane kinds: a
+    // flipped version byte without a matching CRC is transit corruption
+    // (retryable); a rewritten version *with* a recomputed CRC is genuine
+    // protocol skew (fatal).
+    let report = frame::encode(&random_report(3, 41));
+    let ack = frame::encode(&Message::ReportAck { accepted: true });
+    for framed in [report, ack] {
+        let mut corrupted = framed.clone();
+        corrupted[4] ^= 0x01;
+        let err = frame::decode(&corrupted).unwrap_err();
+        assert!(matches!(err, ServeError::ChecksumMismatch { .. }), "{err}");
+        assert!(err.is_retryable());
+
+        let mut v2 = framed.clone();
+        v2[4] = 2;
+        let crc = dre_serve::Crc32::new()
+            .update(&v2[4..6])
+            .update(&v2[10..])
+            .finalize();
+        v2[6..10].copy_from_slice(&crc.to_le_bytes());
+        let err = frame::decode(&v2).unwrap_err();
+        assert!(matches!(err, ServeError::VersionMismatch { .. }), "{err}");
+        assert!(!err.is_retryable());
+    }
+}

@@ -102,6 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── Edge side: a fleet of shard-routed degradation runtimes ────────
     let runtime_config = EdgeRuntimeConfig {
         task_id: TASK_ID,
+        device_id: 0,
         learner: EdgeLearnerConfig {
             em_rounds: 5,
             solver_iters: 80,
@@ -134,7 +135,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let task = family.sample_task(&mut rng);
             let train = task.generate(30, &mut rng);
             let connector = ShardConnector::new(std::sync::Arc::clone(&directory), TASK_ID);
-            let rt = EdgeRuntime::new(connector, policy.clone(), runtime_config.clone());
+            let mut config = runtime_config.clone();
+            config.device_id = i as u64;
+            let rt = EdgeRuntime::new(connector, policy.clone(), config);
             (train, rt)
         })
         .collect();
@@ -152,6 +155,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         refresh_interval: fleet_size.max(2),
         min_reports_for_base: 4,
+        admission: None,
     });
     let mut refreshed_generations = 0usize;
     print!("{:<28}", "round");

@@ -29,13 +29,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dre_data::{Dataset, TaskFamily, TaskFamilyConfig};
-use dre_learner::{CloudLearner, LearnerConfig, SirConfig};
+use dre_edgesim::{poisoned_report, AdversaryKind};
+use dre_learner::{admission_from_env, AdmissionConfig, CloudLearner, LearnerConfig, SirConfig};
 use dre_linalg::Matrix;
 use dre_models::metrics;
 use dre_prob::seeded_rng;
 use dre_serve::{
-    BreakerConfig, EdgeRuntime, EdgeRuntimeConfig, PriorServer, RetryPolicy, ServeConfig,
-    ServerState, TcpConnector,
+    BreakerConfig, EdgeRuntime, EdgeRuntimeConfig, PriorClient, PriorServer, RetryPolicy,
+    ServeConfig, ServerState, TcpConnector,
 };
 use dre_bayes::MixturePrior;
 use dro_edge::{CloudKnowledge, EdgeLearnerConfig, FitMode};
@@ -68,9 +69,10 @@ fn learner_config() -> EdgeLearnerConfig {
     }
 }
 
-fn runtime_config(report_models: bool) -> EdgeRuntimeConfig {
+fn runtime_config(report_models: bool, device_id: u64) -> EdgeRuntimeConfig {
     EdgeRuntimeConfig {
         task_id: TASK_ID,
+        device_id,
         learner: learner_config(),
         erm_lambda: 1e-3,
         breaker: BreakerConfig {
@@ -176,6 +178,7 @@ fn sir_learner(seed: u64) -> CloudLearner {
         // has to not fire mid-drain.
         refresh_interval: usize::MAX,
         min_reports_for_base: 4,
+        admission: None,
     })
 }
 
@@ -208,7 +211,13 @@ fn run_loop(sc: &Scenario, learner_seed: u64, refresh: bool) -> LoopOutcome {
     state.register_prior(TASK_ID, &broad_prior(sc.param_dim));
 
     let mut eval_rts: Vec<_> = (0..EVALS)
-        .map(|_| EdgeRuntime::new(TcpConnector::new(addr), fast_policy(), runtime_config(false)))
+        .map(|dev| {
+            EdgeRuntime::new(
+                TcpConnector::new(addr),
+                fast_policy(),
+                runtime_config(false, 10_000 + dev as u64),
+            )
+        })
         .collect();
 
     let mut learner = sir_learner(learner_seed);
@@ -231,8 +240,11 @@ fn run_loop(sc: &Scenario, learner_seed: u64, refresh: bool) -> LoopOutcome {
         round_accuracy.push(acc / EVALS as f64);
 
         for dev in round * REPORTERS_PER_ROUND..(round + 1) * REPORTERS_PER_ROUND {
-            let mut rt =
-                EdgeRuntime::new(TcpConnector::new(addr), fast_policy(), runtime_config(true));
+            let mut rt = EdgeRuntime::new(
+                TcpConnector::new(addr),
+                fast_policy(),
+                runtime_config(true, dev as u64),
+            );
             let fit = rt.fit_step(&sc.reporters[dev].train).unwrap();
             assert_eq!(fit.mode, FitMode::FreshPrior, "reporter {dev} degraded");
             assert!(fit.reported, "reporter {dev} did not report");
@@ -265,6 +277,255 @@ fn run_loop(sc: &Scenario, learner_seed: u64, refresh: bool) -> LoopOutcome {
         generations,
         eval_connections,
         absorbed,
+    }
+}
+
+/// Colluding Byzantine reporters joining the poisoned loop each round:
+/// 3 adversaries alongside the 5 honest reporters is a 37.5% adversarial
+/// fraction, above the 30% bar the robustness claim is made at.
+const ADVERSARIES_PER_ROUND: usize = 3;
+/// Worst-case transport budget each adversary applies to its own data.
+const ADVERSARY_BUDGET: f64 = 2.0;
+/// Collusion boost: the cohort reports one identical scaled model, forming
+/// a single tight cluster for the unguarded filter to absorb. The negative
+/// sign makes the colluding cluster *anti-correlated* with the honest
+/// decision functions: while the colluders outnumber the largest honest
+/// cluster (they do early on, before the honest pool accumulates), every
+/// eval device starts its EM chain at the poison mean (the
+/// heaviest-component start under `multi_start: false`) and is actively
+/// misled rather than just unlucky.
+const ADVERSARY_SCALE: f64 = -2.0;
+/// Documented round-accuracy noise band (same one the clean loop pins).
+const NOISE_BAND: f64 = 0.02;
+
+/// The admission settings the poisoned loop runs when `DRE_ADMISSION` is
+/// on: default gate, with warmup matched to `min_reports_for_base` so the
+/// baseline is armed from the moment the filter is born, and a margin
+/// placed between the honest score spread (observed worst honest report ≈
+/// 6.5 nats below the rolling 10th percentile at both seeds) and the
+/// colluders' first-contact marginals (≈ 13 nats below it).
+fn poisoned_admission(base: AdmissionConfig) -> AdmissionConfig {
+    AdmissionConfig {
+        warmup: 4,
+        margin: 8.0,
+        ..base
+    }
+}
+
+/// Everything one poisoned run produces that must be seed-deterministic.
+#[derive(Debug, PartialEq)]
+struct PoisonedOutcome {
+    round_accuracy: Vec<f64>,
+    absorbed: usize,
+    gated: usize,
+    quarantined: usize,
+    final_payload: Vec<u8>,
+    counters: Vec<u64>,
+}
+
+/// The closed loop with a colluding feature-shift cohort riding along:
+/// every round the honest reporters fit + report as usual, then the
+/// adversary devices (persistent identities, monotone sequence numbers)
+/// report boosted worst-case models derived from the round's honest data.
+fn run_poisoned_loop(
+    sc: &Scenario,
+    learner_seed: u64,
+    admission: Option<AdmissionConfig>,
+) -> PoisonedOutcome {
+    let mut server = PriorServer::bind("127.0.0.1:0", serve_config()).unwrap();
+    let addr = server.addr();
+    let state: Arc<ServerState> = Arc::clone(server.state());
+    state.register_prior(TASK_ID, &broad_prior(sc.param_dim));
+
+    let mut eval_rts: Vec<_> = (0..EVALS)
+        .map(|dev| {
+            EdgeRuntime::new(
+                TcpConnector::new(addr),
+                fast_policy(),
+                runtime_config(false, 10_000 + dev as u64),
+            )
+        })
+        .collect();
+    let mut adversaries: Vec<_> = (0..ADVERSARIES_PER_ROUND)
+        .map(|_| PriorClient::new(TcpConnector::new(addr), fast_policy()))
+        .collect();
+
+    let mut learner = CloudLearner::try_new(LearnerConfig {
+        sir: SirConfig {
+            seed: learner_seed,
+            ..SirConfig::default()
+        },
+        refresh_interval: usize::MAX,
+        min_reports_for_base: 4,
+        admission,
+    })
+    .unwrap();
+    let mut sink = Arc::clone(&state);
+    let mut round_accuracy = Vec::with_capacity(ROUNDS);
+    let (mut absorbed, mut gated, mut quarantined) = (0, 0, 0);
+
+    for round in 0..ROUNDS {
+        let mut acc = 0.0;
+        for (dev, rt) in eval_rts.iter_mut().enumerate() {
+            let data = &sc.evals[dev];
+            let fit = rt.fit_step(&data.train).unwrap();
+            assert_eq!(fit.mode, FitMode::FreshPrior, "eval {dev} degraded");
+            acc += metrics::accuracy(&fit.model, data.test.features(), data.test.labels())
+                .unwrap();
+        }
+        round_accuracy.push(acc / EVALS as f64);
+
+        for dev in round * REPORTERS_PER_ROUND..(round + 1) * REPORTERS_PER_ROUND {
+            let mut rt = EdgeRuntime::new(
+                TcpConnector::new(addr),
+                fast_policy(),
+                runtime_config(true, dev as u64),
+            );
+            let fit = rt.fit_step(&sc.reporters[dev].train).unwrap();
+            assert_eq!(fit.mode, FitMode::FreshPrior, "reporter {dev} degraded");
+            assert!(fit.reported, "reporter {dev} did not report");
+        }
+        for (k, client) in adversaries.iter_mut().enumerate() {
+            // True collusion: every adversary derives its poison from the
+            // same fixed (honest-looking) dataset, so the cohort reports
+            // one identical model every round. Fifteen identical reports
+            // form the single heaviest DP cluster — honest reports split
+            // across the family's task clusters — which is exactly the
+            // shape that captures an unguarded heaviest-component start.
+            let train = &sc.reporters[0].train;
+            let params = poisoned_report(
+                AdversaryKind::ColludingBoost {
+                    budget: ADVERSARY_BUDGET,
+                    scale: ADVERSARY_SCALE,
+                },
+                train,
+                1e-3,
+            )
+            .unwrap();
+            let accepted = client
+                .report_model(TASK_ID, 50_000 + k as u64, round as u64 + 1, params)
+                .unwrap();
+            assert!(accepted, "the wire admits well-formed frames; gating is semantic");
+        }
+
+        let tick = learner.absorb(state.take_reports(), &mut sink).unwrap();
+        state.note_admission_outcomes(tick.gated as u64, tick.quarantined as u64);
+        absorbed += tick.absorbed;
+        gated += tick.gated;
+        quarantined += tick.quarantined;
+        learner.force_refresh(&mut sink).unwrap();
+    }
+
+    let final_payload = state.prior_entry(TASK_ID).unwrap().payload.as_ref().clone();
+    let counters = state.metrics().deterministic_counters().to_vec();
+    server.shutdown();
+    PoisonedOutcome {
+        round_accuracy,
+        absorbed,
+        gated,
+        quarantined,
+        final_payload,
+        counters,
+    }
+}
+
+/// The headline robustness claim, swept by CI under `DRE_ADMISSION ∈
+/// {on, off}`: with admission ON a 37.5% colluding feature-shift cohort is
+/// gated and eval accuracy stays within the documented noise band of the
+/// clean run; with admission OFF the same cohort measurably degrades the
+/// fleet. Both arms are bit-identical across reruns at two seeds.
+#[test]
+fn poisoned_fleet_is_gated_with_admission_on_and_degrades_with_it_off() {
+    let admission = admission_from_env().map(poisoned_admission);
+    for scenario_seed in [7_500, 9_100] {
+        let sc = scenario(scenario_seed);
+        let clean = run_loop(&sc, 42, true);
+
+        match &admission {
+            Some(cfg) => {
+                let on = run_poisoned_loop(&sc, 42, Some(cfg.clone()));
+                assert_eq!(
+                    on,
+                    run_poisoned_loop(&sc, 42, Some(cfg.clone())),
+                    "seed {scenario_seed}: admission-on loop is not deterministic"
+                );
+                // Every adversarial report is refused; every honest report
+                // is absorbed — so the served priors, and hence the eval
+                // accuracies, match the clean loop round for round.
+                assert_eq!(
+                    on.absorbed,
+                    REPORTERS_PER_ROUND * ROUNDS,
+                    "honest reports must all be absorbed"
+                );
+                assert_eq!(
+                    on.gated,
+                    ADVERSARIES_PER_ROUND * ROUNDS,
+                    "every adversarial report must be refused"
+                );
+                assert_eq!(
+                    on.quarantined, ADVERSARIES_PER_ROUND,
+                    "each colluding device ends up quarantined"
+                );
+                for (r, (p, c)) in on
+                    .round_accuracy
+                    .iter()
+                    .zip(&clean.round_accuracy)
+                    .enumerate()
+                {
+                    assert!(
+                        (p - c).abs() <= NOISE_BAND,
+                        "round {r}: admission-on accuracy {p:.4} left the \
+                         clean noise band around {c:.4}"
+                    );
+                }
+            }
+            None => {
+                let off = run_poisoned_loop(&sc, 42, None);
+                assert_eq!(
+                    off,
+                    run_poisoned_loop(&sc, 42, None),
+                    "seed {scenario_seed}: admission-off loop is not deterministic"
+                );
+                assert_eq!(off.gated, 0);
+                assert_eq!(
+                    off.absorbed,
+                    (REPORTERS_PER_ROUND + ADVERSARIES_PER_ROUND) * ROUNDS,
+                    "without admission the poison reaches the filter"
+                );
+                // While the colluding cluster outnumbers the young honest
+                // pool it owns the heaviest-component start: some early
+                // round collapses far below anything the clean loop ever
+                // shows. The honest pool eventually outgrows the fixed-rate
+                // cohort, so the damage is front-loaded — which is exactly
+                // what the mean-accuracy gap measures.
+                let clean_mean = clean.round_accuracy.iter().sum::<f64>()
+                    / clean.round_accuracy.len() as f64;
+                let off_mean = off.round_accuracy.iter().sum::<f64>()
+                    / off.round_accuracy.len() as f64;
+                assert!(
+                    off_mean < clean_mean - NOISE_BAND,
+                    "seed {scenario_seed}: the unguarded poisoned fleet \
+                     (mean {off_mean:.4}) should measurably trail the clean \
+                     fleet (mean {clean_mean:.4})"
+                );
+                let clean_worst = clean
+                    .round_accuracy
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min);
+                let off_worst = off
+                    .round_accuracy
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
+                    off_worst < clean_worst - 0.1,
+                    "seed {scenario_seed}: the capture round ({off_worst:.4}) \
+                     should collapse well below the clean loop's worst round \
+                     ({clean_worst:.4})"
+                );
+            }
+        }
     }
 }
 
@@ -380,11 +641,11 @@ fn sharded_plane_refresh_fans_out_byte_identically() {
     let directory = plane.directory();
 
     let mut eval_rts: Vec<_> = (0..EVALS)
-        .map(|_| {
+        .map(|dev| {
             EdgeRuntime::new(
                 ShardConnector::new(Arc::clone(&directory), TASK_ID),
                 fast_policy(),
-                runtime_config(false),
+                runtime_config(false, 10_000 + dev as u64),
             )
         })
         .collect();
@@ -406,7 +667,7 @@ fn sharded_plane_refresh_fans_out_byte_identically() {
             let mut rt = EdgeRuntime::new(
                 ShardConnector::new(Arc::clone(&directory), TASK_ID),
                 fast_policy(),
-                runtime_config(true),
+                runtime_config(true, dev as u64),
             );
             let fit = rt.fit_step(&sc.reporters[dev].train).unwrap();
             assert_eq!(fit.mode, FitMode::FreshPrior, "reporter {dev} degraded");

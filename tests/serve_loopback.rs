@@ -77,7 +77,9 @@ fn loopback_fleet_fetches_priors_and_fits_concurrently() {
 
                 // Report the fitted model back to the cloud.
                 let params = fit.model.to_packed();
-                client.report_model(TASK_ID, params.clone()).expect("report");
+                assert!(client
+                    .report_model(TASK_ID, i as u64, 1, params.clone())
+                    .expect("report"));
                 (client.metrics(), params)
             })
         })
@@ -144,7 +146,7 @@ fn keepalive_fleet_reuses_one_connection_per_device_and_hits_the_frame_cache() {
                 client.ping().expect("server must answer pings");
                 let fetched = client.fetch_prior(TASK_ID).expect("prior fetch");
                 client
-                    .report_model(TASK_ID, vec![i as f64; fetched.dim()])
+                    .report_model(TASK_ID, i as u64, 1, vec![i as f64; fetched.dim()])
                     .expect("report");
                 assert!(client.has_live_stream(), "stream must survive the round");
                 client.metrics()
@@ -445,9 +447,10 @@ fn report_flood_beyond_the_inbox_cap_sheds_with_exact_accounting() {
     .keep_alive(true);
 
     for i in 0..FLOOD {
-        client
-            .report_model(TASK_ID, vec![i as f64; 4])
+        let accepted = client
+            .report_model(TASK_ID, 0, i as u64 + 1, vec![i as f64; 4])
             .expect("a shed report must still be acknowledged");
+        assert_eq!(accepted, i < CAP, "shed reports carry a rejected ack");
     }
     let m = server.metrics();
     assert_eq!(m.requests, FLOOD as u64);
@@ -462,7 +465,9 @@ fn report_flood_beyond_the_inbox_cap_sheds_with_exact_accounting() {
     }
 
     // The drain freed the window: the next report is kept, not shed.
-    client.report_model(TASK_ID, vec![42.0; 4]).unwrap();
+    assert!(client
+        .report_model(TASK_ID, 0, FLOOD as u64 + 1, vec![42.0; 4])
+        .unwrap());
     assert_eq!(server.take_reports().len(), 1);
     assert_eq!(server.metrics().reports_shed, (FLOOD - CAP) as u64);
     server.shutdown();

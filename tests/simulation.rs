@@ -188,6 +188,8 @@ fn keep_alive_client_mode_amortizes_handshakes_at_real_frame_sizes() {
     // `ModelReport` for a packed `[w…, b]` model of this dimension.
     let report_frame = dre_serve::frame::encode(&dre_serve::Message::ModelReport {
         task_id: 0,
+        device_id: 0,
+        seq: 1,
         params: vec![0.0; dim + 1],
     });
     assert_eq!(report_frame.len() as u64, model_report_bytes(dim));
