@@ -26,6 +26,9 @@ use dre_bench::degraded::{
     degraded_scenario, readings_below_floor, run_degraded_rounds, spawn_degraded_fleet,
 };
 use dre_bench::json::JsonValue;
+use dre_edgesim::{
+    ComputeModel, DeviceSpec, Link, Scenario, SimDuration, Strategy, SwitchConfig, Topology,
+};
 use dre_learner::{AdmissionConfig, AdmissionState, SirConfig, SirDpFilter};
 use dre_linalg::{Cholesky, Matrix};
 use dre_serve::{
@@ -1066,6 +1069,80 @@ fn main() {
         eprintln!(
             "FAIL {name}: admission overhead {:.1}% is above the 10% gate",
             overhead * 100.0
+        );
+        perf_gate_failures += 1;
+    }
+
+    // -- event executor throughput: events/sec at fleet scale ---------------
+    // The flat-state simulator core pushing a full prior-transfer fleet
+    // through the one-big-switch fabric: every request, transport ack,
+    // payload segment, and EM completion is one heap-ordered event. The
+    // scenario is the same clean-completion shape the release scale gate
+    // (`tests/scale.rs`) uses — port queues sized to absorb the incast,
+    // RTO parked above the drain time — so the measured rate is pure
+    // executor throughput, not timer churn. Determinism doubles as the
+    // correctness check: a rerun must reproduce the whole report (every
+    // per-device f64 included) bit-for-bit, and any mismatch, drop, or
+    // retransmission counts a whole unit into the diff. Full runs on
+    // non-degraded hosts gate at ≥ 1M events/sec.
+    let sim_devices: usize = if smoke { 5_000 } else { 100_000 };
+    let sim_fleet = {
+        let topo = Topology::one_big_switch(Link::new_ms(1.0, 1e12)).with_switch(SwitchConfig {
+            queue_capacity: 2 * sim_devices as u32 + 16,
+            rto: SimDuration::from_secs_f64(3600.0),
+            ..SwitchConfig::default()
+        });
+        let mut sc = Scenario::new(ComputeModel::default()).with_topology(topo);
+        for _ in 0..sim_devices {
+            sc.add_device(DeviceSpec {
+                link: Link::new_ms(5.0, 1e6),
+                strategy: Strategy::PriorTransfer {
+                    samples: 100,
+                    dim: 8,
+                    iterations: 50,
+                    em_rounds: 4,
+                    prior_components: 2,
+                },
+            });
+        }
+        sc
+    };
+    let (sim_ms, sim_report) = time_best(3, || sim_fleet.run());
+    let sim_rerun = sim_fleet.run();
+    let diff = f64::from(sim_rerun != sim_report)
+        + f64::from(sim_report.messages_dropped != 0)
+        + f64::from(sim_report.bytes_retransmitted != 0);
+    let events_per_sec = sim_report.events_executed as f64 / (sim_ms / 1e3);
+    let name = "edgesim_events_per_sec".to_string();
+    kernels.push(KernelReport {
+        json: JsonValue::object([
+            ("name", JsonValue::from(name.as_str())),
+            ("run_ms", JsonValue::from(sim_ms)),
+            ("devices", JsonValue::from(sim_devices)),
+            (
+                "events_executed",
+                JsonValue::from(sim_report.events_executed as usize),
+            ),
+            ("events_per_sec", JsonValue::from(events_per_sec)),
+            ("hw_threads", JsonValue::from(hw_threads)),
+            ("degraded", JsonValue::from(degraded_host)),
+            ("max_abs_diff", JsonValue::from(diff)),
+            ("tolerance", JsonValue::from(0.0)),
+        ]),
+        name: name.clone(),
+        diff,
+        tolerance: 0.0,
+        expects_parallelism: false,
+    });
+    println!(
+        "{name}: {sim_devices} devices, {} events in {sim_ms:.2} ms \
+         ({events_per_sec:.0} events/sec), rerun/drop/retx faults {diff}",
+        sim_report.events_executed
+    );
+    if !smoke && !degraded_host && events_per_sec < 1e6 {
+        eprintln!(
+            "FAIL {name}: {events_per_sec:.0} events/sec is below the 1M events/sec \
+             gate on a {hw_threads}-core host"
         );
         perf_gate_failures += 1;
     }

@@ -10,12 +10,16 @@
 //! is contended. A second table turns on the connection model and compares
 //! the serving layer's two client modes: fresh-per-request pays a
 //! handshake round trip per message, keep-alive pays once per device
-//! round — bytes identical, latency not.
+//! round — bytes identical, latency not. A third table replays the
+//! prior-transfer round through the one-big-switch fabric: transport acks
+//! and retransmissions surface in the byte totals, and the makespan grows
+//! with fleet size as the cloud's shared ports queue — congestion the
+//! private-pipe model cannot represent.
 
 use dre_bench::{standard_cloud, standard_family, Table};
 use dre_edgesim::{
     model_report_bytes, prior_transfer_bytes, ClientMode, ComputeModel, DeviceSpec, Link,
-    RetryModel, Scenario, SimDuration, Strategy,
+    RetryModel, Scenario, SimDuration, Strategy, SwitchConfig, Topology, ACK_BYTES,
 };
 
 fn main() {
@@ -160,4 +164,63 @@ fn main() {
         ]);
     }
     conn_table.emit();
+
+    // ── Switch fabric: what the private-pipe model hides ───────────────
+    // The same prior-transfer round, now through the one-big-switch
+    // topology: every frame is segmented at the MTU, pays serialization
+    // and queueing delay at shared ports, and is acked by the go-back-N
+    // transport. Byte totals grow by the transport overhead (one ack per
+    // data frame) and the makespan grows with fleet size as the cloud's
+    // ports queue — the congestion the legacy model could not represent.
+    println!(
+        "\nswitch fabric: same prior-transfer fleet through one big switch \
+         (transport ack = {ACK_BYTES} B per data frame)"
+    );
+    let mut fabric_table = Table::new(
+        "E9-fabric",
+        "legacy private pipes vs. one-big-switch fabric on the prior-transfer round",
+        &["model", "fleet", "total-KB", "makespan-ms", "dropped", "retx-KB"],
+    );
+    let strategy = Strategy::PriorTransfer {
+        samples,
+        dim,
+        iterations: 100,
+        em_rounds: 5,
+        prior_components,
+    };
+    for fleet in [1usize, 10, 50] {
+        for fabric in [false, true] {
+            let mut scenario = Scenario::new(ComputeModel {
+                device_flops: 2e9,
+                ..ComputeModel::default()
+            });
+            if fabric {
+                // A 1 MB/s cloud access link shared by the whole fleet —
+                // the incast bottleneck the private-pipe model assumes
+                // away. Queues scale with the fleet but stay shallower
+                // than the full payload fan-out, so the big fleets shed
+                // frames at the cloud egress and go-back-N pays them
+                // back in the retx column.
+                scenario = scenario.with_topology(
+                    Topology::one_big_switch(Link::new_ms(25.0, 1e6)).with_switch(SwitchConfig {
+                        queue_capacity: 4 * fleet as u32 + 16,
+                        ..SwitchConfig::default()
+                    }),
+                );
+            }
+            for _ in 0..fleet {
+                scenario.add_device(DeviceSpec { link, strategy });
+            }
+            let report = scenario.run();
+            fabric_table.push_row(vec![
+                if fabric { "one-big-switch" } else { "private-pipes" }.to_string(),
+                fleet.to_string(),
+                format!("{:.1}", report.total_bytes as f64 / 1024.0),
+                format!("{:.1}", report.makespan.as_secs_f64() * 1e3),
+                report.messages_dropped.to_string(),
+                format!("{:.1}", report.bytes_retransmitted as f64 / 1024.0),
+            ]);
+        }
+    }
+    fabric_table.emit();
 }

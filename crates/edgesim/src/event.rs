@@ -1,4 +1,5 @@
-//! The simulation event queue.
+//! The simulation event queue: time-ordered, FIFO on ties, over small
+//! `Copy` event records.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -6,44 +7,89 @@ use std::collections::BinaryHeap;
 use crate::SimTime;
 
 /// A scheduled simulation event.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Events are small `Copy` records carrying only index-based ids — device
+/// indices, port indices into the switch fabric, and slab-recycled frame /
+/// transfer ids — so the executor's hot loop pushes 16-byte payloads
+/// through the heap with no boxing and no per-event allocation.
+///
+/// The first five variants are the direct-delivery (no-topology) model;
+/// the rest exist only when a [`crate::Topology`] is configured.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
-    /// A message finishes arriving at the cloud.
+    /// A message finishes arriving at the cloud (direct-delivery mode).
     ArriveAtCloud {
         /// Originating device index.
-        device: usize,
-        /// Payload size in bytes (already accounted at send time).
-        bytes: u64,
+        device: u32,
         /// What the message asks for.
         kind: MessageKind,
     },
-    /// A message finishes arriving at a device.
+    /// A message finishes arriving at a device (direct-delivery mode).
     ArriveAtDevice {
         /// Destination device index.
-        device: usize,
-        /// Payload size in bytes.
-        bytes: u64,
+        device: u32,
         /// What the message carries.
         kind: MessageKind,
     },
     /// A compute job completes on a device.
     DeviceComputeDone {
         /// Device index.
-        device: usize,
+        device: u32,
     },
     /// A compute job completes on the cloud on behalf of a device.
     CloudComputeDone {
         /// Device the result belongs to.
-        device: usize,
+        device: u32,
     },
     /// A device's response deadline for a prior request expires. Stale
     /// timers (the response arrived first, or a later attempt superseded
     /// this one) are ignored when they fire.
     RetryTimer {
         /// Device index.
-        device: usize,
+        device: u32,
         /// The request attempt this deadline belongs to (1-based).
         attempt: u32,
+    },
+    /// A switch/NIC port finishes transmitting its head-of-line frame
+    /// (topology mode).
+    PortDeparture {
+        /// Port index into the fabric.
+        port: u32,
+    },
+    /// A frame finishes propagating to its next-hop port and attempts to
+    /// enter that port's drop-tail queue (topology mode).
+    PortArrive {
+        /// Destination port index.
+        port: u32,
+        /// Frame slab id.
+        frame: u32,
+    },
+    /// A frame finishes propagating to its destination host's NIC
+    /// (topology mode).
+    Deliver {
+        /// Frame slab id.
+        frame: u32,
+    },
+    /// A reliable transfer's go-back-N retransmit timeout fires
+    /// (topology mode). Stale timers — the transfer completed, was
+    /// recycled (`gen` mismatch), or the timer was superseded (`epoch`
+    /// mismatch) — are ignored.
+    RetxTimer {
+        /// Transfer slab id.
+        transfer: u32,
+        /// Slab generation the timer was armed against.
+        gen: u32,
+        /// Arming epoch the timer belongs to.
+        epoch: u32,
+    },
+    /// A reliable transfer opens its go-back-N window and sends its first
+    /// burst (topology mode; delayed past `t=0` by connection handshakes).
+    TransferStart {
+        /// Transfer slab id.
+        transfer: u32,
+        /// Slab generation the start was scheduled against.
+        gen: u32,
     },
 }
 
@@ -67,6 +113,11 @@ pub enum MessageKind {
 /// Min-heap of `(time, sequence, event)` with FIFO tie-breaking, so
 /// same-timestamp events pop in scheduling order and runs are
 /// deterministic.
+///
+/// The tie-breaking counter is a `u64`: at a billion events per second it
+/// takes five centuries to wrap, so overflow is a programming error — it
+/// is checked with a `debug_assert!` rather than silently wrapping (which
+/// would corrupt FIFO order among equal timestamps).
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Entry>,
@@ -110,10 +161,34 @@ impl EventQueue {
         EventQueue::default()
     }
 
+    /// Creates an empty queue with pre-allocated room for `capacity`
+    /// pending events, so the steady-state hot loop never reallocates the
+    /// heap. Benchmarks and large scenarios size this up front.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Reserves room for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of pending events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Schedules `event` at `time`.
     pub fn schedule(&mut self, time: SimTime, event: Event) {
+        debug_assert!(
+            self.seq != u64::MAX,
+            "EventQueue tie-breaking counter overflowed: 2^64 events scheduled"
+        );
         let seq = self.seq;
-        self.seq += 1;
+        self.seq = self.seq.wrapping_add(1);
         self.heap.push(Entry { time, seq, event });
     }
 
@@ -159,7 +234,7 @@ mod tests {
         for device in 0..5 {
             q.schedule(at(7), Event::DeviceComputeDone { device });
         }
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
                 Event::DeviceComputeDone { device } => device,
                 _ => unreachable!(),
@@ -177,12 +252,57 @@ mod tests {
             at(2),
             Event::ArriveAtCloud {
                 device: 0,
-                bytes: 10,
                 kind: MessageKind::PriorRequest,
             },
         );
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn with_capacity_presizes_and_reserve_grows() {
+        let mut q = EventQueue::with_capacity(1024);
+        assert!(q.capacity() >= 1024);
+        let cap_before = q.capacity();
+        for i in 0..1024 {
+            q.schedule(at(i), Event::DeviceComputeDone { device: 0 });
+        }
+        // A pre-sized queue absorbs its declared capacity without growing.
+        assert_eq!(q.capacity(), cap_before);
+        q.reserve(4096);
+        assert!(q.capacity() >= q.len() + 4096);
+    }
+
+    #[test]
+    fn equal_time_events_pop_in_schedule_order_property() {
+        // Property: for ANY interleaving of timestamps (with heavy ties),
+        // events sharing a timestamp pop in exactly the order they were
+        // scheduled.
+        use proptest::prelude::*;
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let times = proptest::collection::vec(0u64..8, 1..200);
+        runner
+            .run(&times, |times| {
+                let mut q = EventQueue::new();
+                for (i, &t) in times.iter().enumerate() {
+                    q.schedule(at(t), Event::DeviceComputeDone { device: i as u32 });
+                }
+                let mut popped: Vec<(u64, u32)> = Vec::new();
+                while let Some((t, e)) = q.pop() {
+                    let Event::DeviceComputeDone { device } = e else {
+                        unreachable!()
+                    };
+                    popped.push((t.as_micros(), device));
+                }
+                // Global time order…
+                prop_assert!(popped.windows(2).all(|w| w[0].0 <= w[1].0));
+                // …and schedule (device-index) order within each timestamp.
+                prop_assert!(popped
+                    .windows(2)
+                    .all(|w| w[0].0 < w[1].0 || w[0].1 < w[1].1));
+                Ok(())
+            })
+            .unwrap();
     }
 }

@@ -54,18 +54,21 @@ mod event;
 mod network;
 mod adversary;
 mod scenario;
+mod switch;
 mod time;
+mod topology;
 
 pub use adversary::{flip_labels, poisoned_report, AdversaryKind};
-pub use event::{Event, EventQueue};
+pub use event::{Event, EventQueue, MessageKind};
 pub use network::Link;
 pub use scenario::{
     model_bytes, model_report_bytes, prior_transfer_bytes, raw_data_bytes, refresh_round_bytes,
     shard_map_bytes,
     ClientMode, ComputeModel, DeviceReport, DeviceSpec, EnergyModel, RetryModel, Scenario,
-    SimReport, Strategy, REQUEST_BYTES,
+    SimReport, Strategy, TraceEvent, TraceKind, CLOUD_DEVICE, REQUEST_BYTES,
 };
 pub use time::{SimDuration, SimTime};
+pub use topology::{LossModel, SwitchConfig, Topology, ACK_BYTES};
 
 // Simulated outage outcomes carry the same degradation tags as real fleet
 // runs (`dre-serve`'s `EdgeRuntime`).

@@ -1,6 +1,8 @@
-//! Scenario assembly and the event loop.
+//! Scenario assembly and the flat-state event executor.
 
 use crate::event::{Event, EventQueue, MessageKind};
+use crate::switch::{Frame, FrameSlab, PortState, Transfer, TransferSlab, NONE};
+use crate::topology::{Topology, ACK_BYTES};
 use crate::{Link, SimDuration, SimTime};
 use dro_edge::FitMode;
 
@@ -141,7 +143,8 @@ pub enum ClientMode {
 /// One device: its link to the cloud and its strategy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceSpec {
-    /// Link between this device and the cloud.
+    /// Link between this device and the cloud (its access link to the
+    /// switch, in topology mode).
     pub link: Link,
     /// What the device does.
     pub strategy: Strategy,
@@ -185,9 +188,12 @@ impl RetryModel {
 /// Per-device outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DeviceReport {
-    /// Bytes the device sent to the cloud.
+    /// Bytes the device sent to the cloud. In topology mode this counts
+    /// what actually left the radio: every frame including
+    /// retransmissions and transport acks.
     pub bytes_sent: u64,
-    /// Bytes the device received from the cloud.
+    /// Bytes the device received from the cloud (in topology mode,
+    /// including transport acks).
     pub bytes_received: u64,
     /// Simulated time at which the device's model was ready.
     pub completion: SimTime,
@@ -235,6 +241,20 @@ pub struct SimReport {
     /// [`ClientMode`] is configured — the report leg is part of the
     /// connection model).
     pub model_reports: u64,
+    /// Events the executor dispatched over the whole run (the numerator
+    /// of the events/sec benchmark).
+    pub events_executed: u64,
+    /// Frames dropped by the switch fabric — drop-tail queue overflow plus
+    /// deterministic link loss. Always 0 without a [`Topology`].
+    pub messages_dropped: u64,
+    /// Frames the fabric carried across a port without dropping them.
+    /// Every frame offered to a port is either forwarded or counted in
+    /// [`messages_dropped`], so `dropped / (dropped + forwarded)` is the
+    /// fabric's exact drop rate. Always 0 without a [`Topology`].
+    pub frames_forwarded: u64,
+    /// Bytes the go-back-N transport sent more than once. Always 0
+    /// without a [`Topology`].
+    pub bytes_retransmitted: u64,
 }
 
 /// Size in bytes of a raw-sample upload: `n·d` features + `n` labels, 8
@@ -294,6 +314,51 @@ pub const fn refresh_round_bytes(devices: usize, components: usize, dim: usize) 
     per_device * devices as u64
 }
 
+/// The `device` id carried by a [`TraceEvent`] that belongs to the cloud
+/// (or to no host at all) rather than to a device.
+pub const CLOUD_DEVICE: u32 = u32::MAX;
+
+/// One executed event, as recorded by [`Scenario::run_traced`]: when it
+/// fired, what it was, and which device it concerned ([`CLOUD_DEVICE`]
+/// for cloud-side events). Traces are bit-reproducible: identical
+/// scenarios produce identical traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Execution time in integer microseconds since simulation start.
+    pub time_us: u64,
+    /// What fired.
+    pub kind: TraceKind,
+    /// Device the event concerned, or [`CLOUD_DEVICE`].
+    pub device: u32,
+}
+
+/// The event taxonomy as seen in a trace — [`Event`] with slab/port ids
+/// reduced to the owning device.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message arrived at the cloud (direct-delivery mode).
+    ArriveAtCloud(MessageKind),
+    /// A message arrived at a device (direct-delivery mode).
+    ArriveAtDevice(MessageKind),
+    /// Device-side training finished.
+    DeviceComputeDone,
+    /// Cloud-side training finished.
+    CloudComputeDone,
+    /// A prior-request response deadline fired.
+    RetryTimer,
+    /// A port finished transmitting a frame (topology mode).
+    PortDeparture,
+    /// A frame reached a port queue (topology mode).
+    PortArrive,
+    /// A frame reached its destination host (topology mode).
+    Deliver,
+    /// A go-back-N retransmit timeout fired (topology mode).
+    RetxTimer,
+    /// A reliable transfer opened its window (topology mode).
+    TransferStart,
+}
+
 /// A cloud–edge deployment scenario over a star topology.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -303,6 +368,7 @@ pub struct Scenario {
     retry: Option<RetryModel>,
     outage: Option<(SimTime, SimTime)>,
     client: Option<ClientMode>,
+    topology: Option<Topology>,
 }
 
 impl Scenario {
@@ -316,6 +382,7 @@ impl Scenario {
             retry: None,
             outage: None,
             client: None,
+            topology: None,
         }
     }
 
@@ -353,6 +420,21 @@ impl Scenario {
         self
     }
 
+    /// Installs a one-big-switch [`Topology`], replacing the legacy
+    /// direct-delivery network with shared port queues, serialization and
+    /// queueing delay, deterministic loss, and go-back-N retransmission
+    /// for every message. Without this call the simulator keeps its
+    /// legacy behaviour bit-for-bit.
+    ///
+    /// In topology mode byte/energy accounting is per frame actually
+    /// transmitted (including retransmissions and transport acks), and
+    /// the connection handshake still costs two propagation legs of the
+    /// device's access link.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
     /// Adds a device; returns its index.
     pub fn add_device(&mut self, spec: DeviceSpec) -> usize {
         self.devices.push(spec);
@@ -370,371 +452,19 @@ impl Scenario {
     /// # Panics
     ///
     /// Panics if an outage window is configured without a [`RetryModel`] —
-    /// devices caught in the window would deadlock the simulation.
+    /// devices caught in the window would deadlock the simulation — or if
+    /// the configured [`Topology`] is invalid.
     pub fn run(&self) -> SimReport {
-        assert!(
-            self.outage.is_none() || self.retry.is_some(),
-            "an outage window requires a retry model (Scenario::with_retry)"
-        );
-        let mut queue = EventQueue::new();
-        let mut reports: Vec<DeviceReport> = self
-            .devices
-            .iter()
-            .map(|_| DeviceReport {
-                bytes_sent: 0,
-                bytes_received: 0,
-                completion: SimTime::ZERO,
-                compute_joules: 0.0,
-                radio_joules: 0.0,
-                mode: FitMode::LocalOnly,
-                attempts: 0,
-                handshakes: 0,
-            })
-            .collect();
-        // Per-device prior-fetch progress: `Waiting(k)` means attempt `k`
-        // is outstanding; `Resolved` means the payload arrived or the
-        // device gave up and fell back.
-        let mut fetch: Vec<FetchState> = vec![FetchState::NotFetching; self.devices.len()];
-        // Per-device connection state for the keep-alive client mode:
-        // true once the device's persistent stream is up.
-        let mut connected: Vec<bool> = vec![false; self.devices.len()];
-        let mut dropped_requests = 0u64;
-        let mut model_reports = 0u64;
-        let mut cloud_busy_until = SimTime::ZERO;
-        let mut cloud_busy = SimDuration::ZERO;
-
-        // Kick off every device at t = 0.
-        for (i, spec) in self.devices.iter().enumerate() {
-            match spec.strategy {
-                Strategy::EdgeOnly {
-                    samples,
-                    dim,
-                    iterations,
-                } => {
-                    let t = self.compute.train_time(
-                        self.compute.erm_cost,
-                        self.compute.device_flops,
-                        samples,
-                        dim,
-                        iterations,
-                    );
-                    reports[i].compute_joules += self.energy.joules_per_flop
-                        * self.compute.train_flops(self.compute.erm_cost, samples, dim, iterations);
-                    queue.schedule(SimTime::ZERO + t, Event::DeviceComputeDone { device: i });
-                }
-                Strategy::CloudRoundTrip { samples, dim, .. } => {
-                    let bytes = raw_data_bytes(samples, dim);
-                    reports[i].bytes_sent += bytes;
-                    reports[i].radio_joules += self.energy.joules_per_byte * bytes as f64;
-                    reports[i].mode = FitMode::FreshPrior;
-                    reports[i].attempts = 1;
-                    let handshake = self.connect(i, &mut connected, &mut reports);
-                    queue.schedule(
-                        SimTime::ZERO + handshake + spec.link.transfer_time(bytes),
-                        Event::ArriveAtCloud {
-                            device: i,
-                            bytes,
-                            kind: MessageKind::RawData,
-                        },
-                    );
-                }
-                Strategy::PriorTransfer { .. } => {
-                    reports[i].mode = FitMode::FreshPrior;
-                    fetch[i] = FetchState::Waiting(1);
-                    self.send_prior_request(i, 1, SimTime::ZERO, &mut connected, &mut reports, &mut queue);
-                }
-            }
-        }
-
-        while let Some((now, event)) = queue.pop() {
-            match event {
-                Event::DeviceComputeDone { device } => {
-                    reports[device].completion = now;
-                    // Connection-model runs add the telemetry leg: a
-                    // device whose prior arrived reports its fitted model
-                    // back over a framed `ModelReport`. Fire-and-forget
-                    // after the model is ready, so completion (and hence
-                    // makespan) stays "model ready on the device".
-                    // Fallback (LocalOnly) devices just exhausted their
-                    // retry budget against an unreachable cloud and do
-                    // not report.
-                    if self.client.is_some()
-                        && reports[device].mode == FitMode::FreshPrior
-                    {
-                        if let Strategy::PriorTransfer { dim, .. } =
-                            self.devices[device].strategy
-                        {
-                            let bytes = model_report_bytes(dim);
-                            reports[device].bytes_sent += bytes;
-                            reports[device].radio_joules +=
-                                self.energy.joules_per_byte * bytes as f64;
-                            let handshake =
-                                self.connect(device, &mut connected, &mut reports);
-                            queue.schedule(
-                                now + handshake
-                                    + self.devices[device].link.transfer_time(bytes),
-                                Event::ArriveAtCloud {
-                                    device,
-                                    bytes,
-                                    kind: MessageKind::ModelReport,
-                                },
-                            );
-                        }
-                    }
-                }
-                Event::ArriveAtCloud { device, kind, .. } => {
-                    let spec = &self.devices[device];
-                    match kind {
-                        MessageKind::PriorRequest => {
-                            // The outage window drops arriving requests
-                            // silently; the device's retry deadline is the
-                            // only recovery path.
-                            if let Some((start, end)) = self.outage {
-                                if now >= start && now < end {
-                                    dropped_requests += 1;
-                                    continue;
-                                }
-                            }
-                            // Prior is precomputed; respond immediately.
-                            let Strategy::PriorTransfer {
-                                dim,
-                                prior_components,
-                                ..
-                            } = spec.strategy
-                            else {
-                                unreachable!("prior request from non-prior strategy");
-                            };
-                            let prior_bytes = prior_transfer_bytes(prior_components, dim);
-                            queue.schedule(
-                                now + spec.link.transfer_time(prior_bytes),
-                                Event::ArriveAtDevice {
-                                    device,
-                                    bytes: prior_bytes,
-                                    kind: MessageKind::PriorPayload,
-                                },
-                            );
-                        }
-                        MessageKind::RawData => {
-                            let Strategy::CloudRoundTrip {
-                                samples,
-                                dim,
-                                iterations,
-                            } = spec.strategy
-                            else {
-                                unreachable!("raw data from non-cloud strategy");
-                            };
-                            // FIFO single-server cloud.
-                            let start = now.max(cloud_busy_until);
-                            let t = self.compute.train_time(
-                                self.compute.erm_cost,
-                                self.compute.cloud_flops,
-                                samples,
-                                dim,
-                                iterations,
-                            );
-                            cloud_busy_until = start + t;
-                            cloud_busy = cloud_busy + t;
-                            queue.schedule(
-                                cloud_busy_until,
-                                Event::CloudComputeDone { device },
-                            );
-                        }
-                        MessageKind::ModelReport => {
-                            // Telemetry sink: the cloud absorbs the report
-                            // (no response leg), so it only counts.
-                            model_reports += 1;
-                        }
-                        MessageKind::PriorPayload | MessageKind::ModelPayload => {
-                            unreachable!("cloud cannot receive its own payload kinds")
-                        }
-                    }
-                }
-                Event::CloudComputeDone { device } => {
-                    let spec = &self.devices[device];
-                    let Strategy::CloudRoundTrip { dim, .. } = spec.strategy else {
-                        unreachable!("cloud compute for non-cloud strategy");
-                    };
-                    let bytes = model_bytes(dim);
-                    queue.schedule(
-                        now + spec.link.transfer_time(bytes),
-                        Event::ArriveAtDevice {
-                            device,
-                            bytes,
-                            kind: MessageKind::ModelPayload,
-                        },
-                    );
-                }
-                Event::ArriveAtDevice { device, bytes, kind } => {
-                    reports[device].bytes_received += bytes;
-                    reports[device].radio_joules += self.energy.joules_per_byte * bytes as f64;
-                    match kind {
-                        MessageKind::ModelPayload => {
-                            reports[device].completion = now;
-                        }
-                        MessageKind::PriorPayload => {
-                            // A payload for an already-resolved fetch (the
-                            // device resent while this one was in flight,
-                            // or already fell back) still costs radio
-                            // bytes but triggers no second fit.
-                            if fetch[device] == FetchState::Resolved {
-                                continue;
-                            }
-                            fetch[device] = FetchState::Resolved;
-                            reports[device].mode = FitMode::FreshPrior;
-                            let Strategy::PriorTransfer {
-                                samples,
-                                dim,
-                                iterations,
-                                em_rounds,
-                                ..
-                            } = self.devices[device].strategy
-                            else {
-                                unreachable!("prior payload for non-prior strategy");
-                            };
-                            let t = self.compute.train_time(
-                                self.compute.em_cost,
-                                self.compute.device_flops,
-                                samples,
-                                dim,
-                                iterations * em_rounds.max(1),
-                            );
-                            reports[device].compute_joules += self.energy.joules_per_flop
-                                * self.compute.train_flops(
-                                    self.compute.em_cost,
-                                    samples,
-                                    dim,
-                                    iterations * em_rounds.max(1),
-                                );
-                            queue.schedule(now + t, Event::DeviceComputeDone { device });
-                        }
-                        MessageKind::PriorRequest
-                        | MessageKind::RawData
-                        | MessageKind::ModelReport => {
-                            unreachable!("devices cannot receive cloud-bound kinds")
-                        }
-                    }
-                }
-                Event::RetryTimer { device, attempt } => {
-                    // Only the deadline of the *outstanding* attempt acts;
-                    // timers of answered or superseded attempts are stale.
-                    if fetch[device] != FetchState::Waiting(attempt) {
-                        continue;
-                    }
-                    let retry = self.retry.expect("RetryTimer scheduled without a RetryModel");
-                    if attempt < retry.max_attempts.max(1) {
-                        fetch[device] = FetchState::Waiting(attempt + 1);
-                        self.send_prior_request(
-                            device,
-                            attempt + 1,
-                            now,
-                            &mut connected,
-                            &mut reports,
-                            &mut queue,
-                        );
-                    } else {
-                        // Retry budget exhausted: fall back to local ERM —
-                        // the same training the EdgeOnly strategy runs.
-                        fetch[device] = FetchState::Resolved;
-                        reports[device].mode = FitMode::LocalOnly;
-                        let Strategy::PriorTransfer {
-                            samples,
-                            dim,
-                            iterations,
-                            ..
-                        } = self.devices[device].strategy
-                        else {
-                            unreachable!("retry timer for non-prior strategy");
-                        };
-                        let t = self.compute.train_time(
-                            self.compute.erm_cost,
-                            self.compute.device_flops,
-                            samples,
-                            dim,
-                            iterations,
-                        );
-                        reports[device].compute_joules += self.energy.joules_per_flop
-                            * self
-                                .compute
-                                .train_flops(self.compute.erm_cost, samples, dim, iterations);
-                        queue.schedule(now + t, Event::DeviceComputeDone { device });
-                    }
-                }
-            }
-        }
-
-        let makespan = reports
-            .iter()
-            .map(|r| r.completion)
-            .max()
-            .unwrap_or(SimTime::ZERO);
-        let total_bytes = reports
-            .iter()
-            .map(|r| r.bytes_sent + r.bytes_received)
-            .sum();
-        SimReport {
-            devices: reports,
-            total_bytes,
-            makespan,
-            cloud_busy,
-            dropped_requests,
-            model_reports,
-        }
+        Engine::new(self).run(None)
     }
 
-    /// Charges the transport handshake for one outgoing message, if the
-    /// connection model is enabled and the device needs a fresh
-    /// connection. Returns the extra delay before the message's first
-    /// byte departs: one round trip (two propagation legs) — handshake
-    /// segments carry no frame bytes, so time is the only cost.
-    fn connect(
-        &self,
-        device: usize,
-        connected: &mut [bool],
-        reports: &mut [DeviceReport],
-    ) -> SimDuration {
-        let Some(mode) = self.client else {
-            return SimDuration::ZERO;
-        };
-        if mode == ClientMode::KeepAlive && connected[device] {
-            return SimDuration::ZERO;
-        }
-        connected[device] = true;
-        reports[device].handshakes += 1;
-        let latency = self.devices[device].link.latency();
-        SimDuration::from_micros(2 * latency.as_micros())
-    }
-
-    /// Sends (or resends) one prior request for `device`, charging radio
-    /// bytes and energy — plus the connection handshake when the client
-    /// mode requires a fresh stream — and, when a [`RetryModel`] is
-    /// configured, arming the attempt's response deadline.
-    fn send_prior_request(
-        &self,
-        device: usize,
-        attempt: u32,
-        now: SimTime,
-        connected: &mut [bool],
-        reports: &mut [DeviceReport],
-        queue: &mut EventQueue,
-    ) {
-        reports[device].bytes_sent += REQUEST_BYTES;
-        reports[device].radio_joules += self.energy.joules_per_byte * REQUEST_BYTES as f64;
-        reports[device].attempts = attempt;
-        let handshake = self.connect(device, connected, reports);
-        queue.schedule(
-            now + handshake + self.devices[device].link.transfer_time(REQUEST_BYTES),
-            Event::ArriveAtCloud {
-                device,
-                bytes: REQUEST_BYTES,
-                kind: MessageKind::PriorRequest,
-            },
-        );
-        if let Some(retry) = self.retry {
-            queue.schedule(
-                now + retry.deadline(attempt),
-                Event::RetryTimer { device, attempt },
-            );
-        }
+    /// Like [`Scenario::run`], additionally recording every executed
+    /// event as a [`TraceEvent`]. Traces replay bit-identically for
+    /// identical scenarios; the report is identical to [`Scenario::run`].
+    pub fn run_traced(&self) -> (SimReport, Vec<TraceEvent>) {
+        let mut trace = Vec::new();
+        let report = Engine::new(self).run(Some(&mut trace));
+        (report, trace)
     }
 }
 
@@ -749,622 +479,899 @@ enum FetchState {
     Resolved,
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+/// Flat per-device state: one `Copy` record per device, held in a single
+/// `Vec` so the hot loop walks contiguous memory instead of chasing
+/// per-device allocations.
+#[derive(Debug, Clone, Copy)]
+struct DeviceState {
+    report: DeviceReport,
+    fetch: FetchState,
+    connected: bool,
+}
 
-    fn link() -> Link {
-        Link::new_ms(20.0, 1e6) // 20 ms one-way, 1 MB/s
-    }
+/// Serialization delay of `bytes` at the link's rate (no propagation).
+fn ser_time(link: Link, bytes: u64) -> SimDuration {
+    SimDuration::from_secs_f64(bytes as f64 / link.bandwidth())
+}
 
-    #[test]
-    fn edge_only_uses_no_network() {
-        let mut sc = Scenario::new(ComputeModel::default());
-        sc.add_device(DeviceSpec {
-            link: link(),
-            strategy: Strategy::EdgeOnly {
-                samples: 100,
-                dim: 10,
-                iterations: 100,
-            },
-        });
-        let r = sc.run();
-        assert_eq!(r.devices[0].bytes_sent, 0);
-        assert_eq!(r.devices[0].bytes_received, 0);
-        assert_eq!(r.total_bytes, 0);
-        assert_eq!(r.cloud_busy, SimDuration::ZERO);
-        // 20·100·10·100 = 2e6 flops at 1e8 flop/s = 20 ms.
-        assert_eq!(r.makespan.as_micros(), 20_000);
-    }
+/// The event executor: a [`Scenario`] plus all mutable run state, flat and
+/// index-addressed. One instance per run.
+struct Engine<'a> {
+    sc: &'a Scenario,
+    /// Device count; host `n` is the cloud.
+    n: u32,
+    queue: EventQueue,
+    devs: Vec<DeviceState>,
+    cloud_busy_until: SimTime,
+    cloud_busy: SimDuration,
+    dropped_requests: u64,
+    model_reports: u64,
+    events_executed: u64,
+    messages_dropped: u64,
+    frames_forwarded: u64,
+    bytes_retransmitted: u64,
+    // Topology-mode fabric state (empty in legacy mode).
+    topo: Option<Topology>,
+    ports: Vec<PortState>,
+    frames: FrameSlab,
+    transfers: TransferSlab,
+}
 
-    #[test]
-    fn cloud_round_trip_accounts_bytes_and_latency() {
-        let mut sc = Scenario::new(ComputeModel::default());
-        sc.add_device(DeviceSpec {
-            link: link(),
-            strategy: Strategy::CloudRoundTrip {
-                samples: 1000,
-                dim: 9,
-                iterations: 100,
-            },
-        });
-        let r = sc.run();
-        let up = raw_data_bytes(1000, 9); // 80 KB
-        let down = model_bytes(9);
-        assert_eq!(r.devices[0].bytes_sent, up);
-        assert_eq!(r.devices[0].bytes_received, down);
-        assert_eq!(r.total_bytes, up + down);
-        assert!(r.cloud_busy > SimDuration::ZERO);
-        // Completion ≥ two propagation legs plus the upload serialization.
-        assert!(r.makespan.as_micros() > 2 * 20_000 + 80_000);
-    }
-
-    #[test]
-    fn prior_transfer_moves_far_fewer_bytes_than_raw_upload() {
-        let samples = 500;
-        let dim = 16;
-        let mk = |strategy| {
-            let mut sc = Scenario::new(ComputeModel::default());
-            sc.add_device(DeviceSpec { link: link(), strategy });
-            sc.run()
-        };
-        let cloud = mk(Strategy::CloudRoundTrip {
-            samples,
-            dim,
-            iterations: 100,
-        });
-        let prior = mk(Strategy::PriorTransfer {
-            samples,
-            dim,
-            iterations: 100,
-            em_rounds: 5,
-            prior_components: 4,
-        });
+impl<'a> Engine<'a> {
+    fn new(sc: &'a Scenario) -> Self {
         assert!(
-            prior.total_bytes * 5 < cloud.total_bytes,
-            "prior {} vs cloud {}",
-            prior.total_bytes,
-            cloud.total_bytes
+            sc.outage.is_none() || sc.retry.is_some(),
+            "an outage window requires a retry model (Scenario::with_retry)"
         );
-    }
-
-    #[test]
-    fn cloud_queueing_delays_grow_with_fleet_size() {
-        let completion_of_last = |n: usize| {
-            let mut sc = Scenario::new(ComputeModel {
-                cloud_flops: 1e8, // slow cloud to make queueing visible
-                ..ComputeModel::default()
-            });
-            for _ in 0..n {
-                sc.add_device(DeviceSpec {
-                    link: link(),
-                    strategy: Strategy::CloudRoundTrip {
-                        samples: 500,
-                        dim: 10,
-                        iterations: 100,
-                    },
-                });
-            }
-            sc.run().makespan
-        };
-        let one = completion_of_last(1);
-        let ten = completion_of_last(10);
-        assert!(
-            ten.as_micros() > one.as_micros() + 8 * 100_000,
-            "ten devices should queue: {one} vs {ten}"
-        );
-    }
-
-    #[test]
-    fn prior_transfer_scales_out_without_cloud_contention() {
-        let makespan = |n: usize| {
-            let mut sc = Scenario::new(ComputeModel::default());
-            for _ in 0..n {
-                sc.add_device(DeviceSpec {
-                    link: link(),
-                    strategy: Strategy::PriorTransfer {
-                        samples: 200,
-                        dim: 10,
-                        iterations: 50,
-                        em_rounds: 5,
-                        prior_components: 4,
-                    },
-                });
-            }
-            sc.run().makespan
-        };
-        // Devices are independent: makespan does not grow with fleet size.
-        assert_eq!(makespan(1), makespan(20));
-    }
-
-    #[test]
-    fn runs_are_deterministic() {
-        let mut sc = Scenario::new(ComputeModel::default());
-        for i in 0..7 {
-            sc.add_device(DeviceSpec {
-                link: Link::new_ms(5.0 + i as f64, 5e5),
-                strategy: if i % 2 == 0 {
-                    Strategy::CloudRoundTrip {
-                        samples: 300 + i,
-                        dim: 8,
-                        iterations: 80,
-                    }
-                } else {
-                    Strategy::PriorTransfer {
-                        samples: 100,
-                        dim: 8,
-                        iterations: 40,
-                        em_rounds: 4,
-                        prior_components: 2,
-                    }
+        if let Some(t) = &sc.topology {
+            t.validate();
+        }
+        let n = sc.devices.len();
+        let topo = sc.topology;
+        let devs = sc
+            .devices
+            .iter()
+            .map(|_| DeviceState {
+                report: DeviceReport {
+                    bytes_sent: 0,
+                    bytes_received: 0,
+                    completion: SimTime::ZERO,
+                    compute_joules: 0.0,
+                    radio_joules: 0.0,
+                    mode: FitMode::LocalOnly,
+                    attempts: 0,
+                    handshakes: 0,
                 },
-            });
-        }
-        assert_eq!(sc.num_devices(), 7);
-        let a = sc.run();
-        let b = sc.run();
-        assert_eq!(a, b);
-        assert_eq!(
-            a.makespan,
-            a.devices.iter().map(|d| d.completion).max().unwrap()
-        );
-    }
-
-    #[test]
-    fn energy_accounting_follows_the_strategy() {
-        let energy = EnergyModel {
-            joules_per_flop: 1e-9,
-            joules_per_byte: 1e-6,
-        };
-        let mk = |strategy| {
-            let mut sc = Scenario::new(ComputeModel::default()).with_energy(energy);
-            sc.add_device(DeviceSpec { link: link(), strategy });
-            sc.run().devices[0]
-        };
-        // Edge-only: all compute, no radio.
-        let edge = mk(Strategy::EdgeOnly {
-            samples: 100,
-            dim: 10,
-            iterations: 100,
-        });
-        assert_eq!(edge.radio_joules, 0.0);
-        // 20·100·10·100 = 2e6 flops × 1e-9 J = 2 mJ.
-        assert!((edge.compute_joules - 2e-3).abs() < 1e-12);
-        assert_eq!(edge.total_joules(), edge.compute_joules);
-
-        // Cloud round trip: all radio, no device compute.
-        let cloud = mk(Strategy::CloudRoundTrip {
-            samples: 100,
-            dim: 10,
-            iterations: 100,
-        });
-        assert_eq!(cloud.compute_joules, 0.0);
-        let bytes = raw_data_bytes(100, 10) + model_bytes(10);
-        assert!((cloud.radio_joules - bytes as f64 * 1e-6).abs() < 1e-12);
-
-        // Prior transfer: both, with radio far below the raw upload.
-        let prior = mk(Strategy::PriorTransfer {
-            samples: 100,
-            dim: 10,
-            iterations: 100,
-            em_rounds: 5,
-            prior_components: 3,
-        });
-        assert!(prior.compute_joules > 0.0);
-        assert!(prior.radio_joules < cloud.radio_joules / 2.0);
-        let wire = REQUEST_BYTES + prior_transfer_bytes(3, 10);
-        assert!((prior.radio_joules - wire as f64 * 1e-6).abs() < 1e-12);
-    }
-
-    #[test]
-    fn default_energy_model_is_radio_dominated_per_unit() {
-        let e = EnergyModel::default();
-        // One byte costs as much as ~20k FLOPs — the IoT radio/compute gap.
-        assert!(e.joules_per_byte / e.joules_per_flop > 1e4);
-    }
-
-    #[test]
-    fn shard_map_bytes_matches_the_real_encoded_frame() {
-        // The const helper must charge exactly the bytes the real codec
-        // puts on the wire, for any plane size and address family mix.
-        for shards in [1usize, 3, 4, 16] {
-            let map = dre_serve::ShardMapWire {
-                epoch: 3,
-                seed: 0x5EED,
-                replication: 2,
-                virtual_nodes: 64,
-                shards: (0..shards)
-                    .map(|i| {
-                        if i % 2 == 0 {
-                            format!("127.0.0.1:{}", 9_000 + i).parse().unwrap()
-                        } else {
-                            format!("[::1]:{}", 9_000 + i).parse().unwrap()
-                        }
-                    })
-                    .collect(),
-            };
-            let framed = dre_serve::frame::encode(&dre_serve::Message::ShardMapResponse { map });
-            assert_eq!(framed.len() as u64, shard_map_bytes(shards));
-        }
-    }
-
-    #[test]
-    fn refresh_round_bytes_sums_the_real_closed_loop_frames() {
-        // One closed-loop round per device is fetch + report + ack; the
-        // helper must charge exactly the four real encoded frame lengths.
-        use dre_serve::frame::encode;
-        use dre_serve::Message;
-
-        let (components, dim) = (3usize, 10usize);
-        // Packed `[w…, b]` models live in `dim + 1` dimensions.
-        let prior = dre_bayes::MixturePrior::new(
-            (0..components)
-                .map(|_| {
-                    (
-                        1.0 / components as f64,
-                        vec![0.0; dim + 1],
-                        dre_linalg::Matrix::identity(dim + 1),
-                    )
-                })
-                .collect(),
-        )
-        .unwrap();
-        let fetch = encode(&Message::PriorRequest { task_id: 1 }).len()
-            + encode(&Message::PriorResponse {
-                payload: dro_edge::transfer::serialize_prior(&prior),
+                fetch: FetchState::NotFetching,
+                connected: false,
             })
-            .len();
-        let report = encode(&Message::ModelReport {
-            task_id: 1,
-            device_id: 0,
-            seq: 1,
-            params: vec![0.0; dim + 1],
-        })
-        .len()
-        + encode(&Message::ReportAck { accepted: true }).len();
-        let per_device = (fetch + report) as u64;
+            .collect();
+        // Pre-size everything the hot loop touches, so steady state never
+        // allocates: the heap, the port array, and both slabs.
+        let (queue, ports, frames, transfers) = if topo.is_some() {
+            (
+                EventQueue::with_capacity(4 * n + 64),
+                vec![PortState::default(); 2 * (n + 1)],
+                FrameSlab::with_capacity(n + 64),
+                TransferSlab::with_capacity(n + 64),
+            )
+        } else {
+            (
+                EventQueue::with_capacity(2 * n + 64),
+                Vec::new(),
+                FrameSlab::with_capacity(0),
+                TransferSlab::with_capacity(0),
+            )
+        };
+        Engine {
+            sc,
+            n: n as u32,
+            queue,
+            devs,
+            cloud_busy_until: SimTime::ZERO,
+            cloud_busy: SimDuration::ZERO,
+            dropped_requests: 0,
+            model_reports: 0,
+            events_executed: 0,
+            messages_dropped: 0,
+            frames_forwarded: 0,
+            bytes_retransmitted: 0,
+            topo,
+            ports,
+            frames,
+            transfers,
+        }
+    }
 
-        for devices in [1usize, 5, 25] {
-            assert_eq!(
-                refresh_round_bytes(devices, components, dim),
-                per_device * devices as u64
+    fn run(mut self, mut trace: Option<&mut Vec<TraceEvent>>) -> SimReport {
+        self.kickoff();
+        while let Some((now, event)) = self.queue.pop() {
+            self.events_executed += 1;
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(self.trace_of(now, event));
+            }
+            match event {
+                Event::DeviceComputeDone { device } => self.on_device_compute_done(device, now),
+                Event::ArriveAtCloud { device, kind } => self.on_arrive_at_cloud(device, kind, now),
+                Event::CloudComputeDone { device } => self.on_cloud_compute_done(device, now),
+                Event::ArriveAtDevice { device, kind } => {
+                    self.on_arrive_at_device(device, kind, now)
+                }
+                Event::RetryTimer { device, attempt } => self.on_retry_timer(device, attempt, now),
+                Event::PortDeparture { port } => self.on_port_departure(port, now),
+                Event::PortArrive { port, frame } => self.enqueue_port(port, frame, now),
+                Event::Deliver { frame } => self.on_deliver(frame, now),
+                Event::RetxTimer { transfer, gen, epoch } => {
+                    self.on_retx_timer(transfer, gen, epoch, now)
+                }
+                Event::TransferStart { transfer, gen } => {
+                    self.on_transfer_start(transfer, gen, now)
+                }
+            }
+        }
+        let makespan = self
+            .devs
+            .iter()
+            .map(|d| d.report.completion)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        let total_bytes = self
+            .devs
+            .iter()
+            .map(|d| d.report.bytes_sent + d.report.bytes_received)
+            .sum();
+        SimReport {
+            devices: self.devs.into_iter().map(|d| d.report).collect(),
+            total_bytes,
+            makespan,
+            cloud_busy: self.cloud_busy,
+            dropped_requests: self.dropped_requests,
+            model_reports: self.model_reports,
+            events_executed: self.events_executed,
+            messages_dropped: self.messages_dropped,
+            frames_forwarded: self.frames_forwarded,
+            bytes_retransmitted: self.bytes_retransmitted,
+        }
+    }
+
+    /// Kicks off every device at `t = 0`, in device order.
+    fn kickoff(&mut self) {
+        for i in 0..self.sc.devices.len() {
+            let spec = self.sc.devices[i];
+            let d = i as u32;
+            match spec.strategy {
+                Strategy::EdgeOnly {
+                    samples,
+                    dim,
+                    iterations,
+                } => {
+                    let t = self.sc.compute.train_time(
+                        self.sc.compute.erm_cost,
+                        self.sc.compute.device_flops,
+                        samples,
+                        dim,
+                        iterations,
+                    );
+                    self.devs[i].report.compute_joules += self.sc.energy.joules_per_flop
+                        * self.sc.compute.train_flops(
+                            self.sc.compute.erm_cost,
+                            samples,
+                            dim,
+                            iterations,
+                        );
+                    self.queue
+                        .schedule(SimTime::ZERO + t, Event::DeviceComputeDone { device: d });
+                }
+                Strategy::CloudRoundTrip { samples, dim, .. } => {
+                    let bytes = raw_data_bytes(samples, dim);
+                    self.devs[i].report.mode = FitMode::FreshPrior;
+                    self.devs[i].report.attempts = 1;
+                    if self.topo.is_some() {
+                        let handshake = self.connect(d);
+                        self.start_message(
+                            d,
+                            d,
+                            self.n,
+                            MessageKind::RawData,
+                            bytes,
+                            SimTime::ZERO + handshake,
+                        );
+                    } else {
+                        self.devs[i].report.bytes_sent += bytes;
+                        self.devs[i].report.radio_joules +=
+                            self.sc.energy.joules_per_byte * bytes as f64;
+                        let handshake = self.connect(d);
+                        self.queue.schedule(
+                            SimTime::ZERO + handshake + spec.link.transfer_time(bytes),
+                            Event::ArriveAtCloud {
+                                device: d,
+                                kind: MessageKind::RawData,
+                            },
+                        );
+                    }
+                }
+                Strategy::PriorTransfer { .. } => {
+                    self.devs[i].report.mode = FitMode::FreshPrior;
+                    self.devs[i].fetch = FetchState::Waiting(1);
+                    self.send_prior_request(d, 1, SimTime::ZERO);
+                }
+            }
+        }
+    }
+
+    // ----- shared handlers (legacy and topology modes) -----
+
+    fn on_device_compute_done(&mut self, device: u32, now: SimTime) {
+        let i = device as usize;
+        self.devs[i].report.completion = now;
+        // Connection-model runs add the telemetry leg: a device whose
+        // prior arrived reports its fitted model back over a framed
+        // `ModelReport`. Fire-and-forget after the model is ready, so
+        // completion (and hence makespan) stays "model ready on the
+        // device". Fallback (LocalOnly) devices just exhausted their retry
+        // budget against an unreachable cloud and do not report.
+        if self.sc.client.is_some() && self.devs[i].report.mode == FitMode::FreshPrior {
+            if let Strategy::PriorTransfer { dim, .. } = self.sc.devices[i].strategy {
+                let bytes = model_report_bytes(dim);
+                if self.topo.is_some() {
+                    let handshake = self.connect(device);
+                    self.start_message(
+                        device,
+                        device,
+                        self.n,
+                        MessageKind::ModelReport,
+                        bytes,
+                        now + handshake,
+                    );
+                } else {
+                    self.devs[i].report.bytes_sent += bytes;
+                    self.devs[i].report.radio_joules +=
+                        self.sc.energy.joules_per_byte * bytes as f64;
+                    let handshake = self.connect(device);
+                    self.queue.schedule(
+                        now + handshake + self.sc.devices[i].link.transfer_time(bytes),
+                        Event::ArriveAtCloud {
+                            device,
+                            kind: MessageKind::ModelReport,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_cloud_compute_done(&mut self, device: u32, now: SimTime) {
+        let spec = self.sc.devices[device as usize];
+        let Strategy::CloudRoundTrip { dim, .. } = spec.strategy else {
+            unreachable!("cloud compute for non-cloud strategy");
+        };
+        let bytes = model_bytes(dim);
+        if self.topo.is_some() {
+            self.start_message(device, self.n, device, MessageKind::ModelPayload, bytes, now);
+        } else {
+            self.queue.schedule(
+                now + spec.link.transfer_time(bytes),
+                Event::ArriveAtDevice {
+                    device,
+                    kind: MessageKind::ModelPayload,
+                },
             );
         }
     }
 
-    #[test]
-    fn random_scenarios_satisfy_aggregate_invariants() {
-        // Selective imports: proptest's prelude exports a `Strategy` trait
-        // that would shadow the simulator's `Strategy` enum.
-        use proptest::prelude::{prop_assert, prop_assert_eq};
-        use proptest::strategy::Strategy as _;
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let strategy_gen = (0u8..3, 10usize..500, 1usize..32, 1usize..200, 1usize..12)
-            .prop_map(|(kind, samples, dim, iterations, prior_components)| match kind {
-                0 => Strategy::EdgeOnly {
-                    samples,
-                    dim,
-                    iterations,
-                },
-                1 => Strategy::CloudRoundTrip {
-                    samples,
-                    dim,
-                    iterations,
-                },
-                _ => Strategy::PriorTransfer {
-                    samples,
-                    dim,
-                    iterations,
-                    em_rounds: 1 + iterations % 10,
-                    prior_components,
-                },
-            });
-        let fleet_gen = proptest::collection::vec(
-            (strategy_gen, 0.1..100.0f64, 1e3..1e7f64),
-            1..12,
-        );
-        runner
-            .run(&fleet_gen, |fleet| {
-                let mut sc = Scenario::new(ComputeModel::default());
-                for (strategy, latency_ms, bw) in &fleet {
-                    sc.add_device(DeviceSpec {
-                        link: Link::new_ms(*latency_ms, *bw),
-                        strategy: *strategy,
-                    });
-                }
-                let report = sc.run();
-                // Makespan is the latest completion.
-                let max_completion = report
-                    .devices
-                    .iter()
-                    .map(|d| d.completion)
-                    .max()
-                    .unwrap();
-                prop_assert_eq!(report.makespan, max_completion);
-                // Bytes are additive and strategy-consistent.
-                let sum: u64 = report
-                    .devices
-                    .iter()
-                    .map(|d| d.bytes_sent + d.bytes_received)
-                    .sum();
-                prop_assert_eq!(report.total_bytes, sum);
-                for (d, (strategy, ..)) in report.devices.iter().zip(&fleet) {
-                    prop_assert!(d.completion > SimTime::ZERO);
-                    prop_assert!(d.compute_joules >= 0.0 && d.radio_joules >= 0.0);
-                    // No client mode configured: the connection model is off.
-                    prop_assert_eq!(d.handshakes, 0);
-                    match strategy {
-                        Strategy::EdgeOnly { .. } => {
-                            prop_assert_eq!(d.bytes_sent + d.bytes_received, 0);
-                            prop_assert_eq!(d.mode, FitMode::LocalOnly);
-                            prop_assert_eq!(d.attempts, 0);
-                        }
-                        Strategy::CloudRoundTrip { samples, dim, .. } => {
-                            prop_assert_eq!(d.bytes_sent, raw_data_bytes(*samples, *dim));
-                            prop_assert_eq!(d.bytes_received, model_bytes(*dim));
-                            prop_assert_eq!(d.mode, FitMode::FreshPrior);
-                        }
-                        Strategy::PriorTransfer {
-                            dim,
-                            prior_components,
-                            ..
-                        } => {
-                            prop_assert_eq!(d.bytes_sent, REQUEST_BYTES);
-                            prop_assert_eq!(
-                                d.bytes_received,
-                                prior_transfer_bytes(*prior_components, *dim)
-                            );
-                            // No retry model: a single patient attempt.
-                            prop_assert_eq!(d.mode, FitMode::FreshPrior);
-                            prop_assert_eq!(d.attempts, 1);
-                        }
-                    }
-                }
-                // Determinism.
-                prop_assert_eq!(sc.run(), report);
-                Ok(())
-            })
-            .unwrap();
-    }
-
-    fn prior_strategy() -> Strategy {
-        Strategy::PriorTransfer {
-            samples: 100,
-            dim: 8,
-            iterations: 50,
-            em_rounds: 4,
-            prior_components: 2,
+    fn on_retry_timer(&mut self, device: u32, attempt: u32, now: SimTime) {
+        let i = device as usize;
+        // Only the deadline of the *outstanding* attempt acts; timers of
+        // answered or superseded attempts are stale.
+        if self.devs[i].fetch != FetchState::Waiting(attempt) {
+            return;
+        }
+        let retry = self.sc.retry.expect("RetryTimer scheduled without a RetryModel");
+        if attempt < retry.max_attempts.max(1) {
+            self.devs[i].fetch = FetchState::Waiting(attempt + 1);
+            self.send_prior_request(device, attempt + 1, now);
+        } else {
+            // Retry budget exhausted: fall back to local ERM — the same
+            // training the EdgeOnly strategy runs.
+            self.devs[i].fetch = FetchState::Resolved;
+            self.devs[i].report.mode = FitMode::LocalOnly;
+            let Strategy::PriorTransfer {
+                samples,
+                dim,
+                iterations,
+                ..
+            } = self.sc.devices[i].strategy
+            else {
+                unreachable!("retry timer for non-prior strategy");
+            };
+            let t = self.sc.compute.train_time(
+                self.sc.compute.erm_cost,
+                self.sc.compute.device_flops,
+                samples,
+                dim,
+                iterations,
+            );
+            self.devs[i].report.compute_joules += self.sc.energy.joules_per_flop
+                * self
+                    .sc
+                    .compute
+                    .train_flops(self.sc.compute.erm_cost, samples, dim, iterations);
+            self.queue.schedule(now + t, Event::DeviceComputeDone { device });
         }
     }
 
-    #[test]
-    fn reports_tag_every_strategy_with_its_degradation_rung() {
-        let mut sc = Scenario::new(ComputeModel::default());
-        sc.add_device(DeviceSpec {
-            link: link(),
-            strategy: Strategy::EdgeOnly {
-                samples: 100,
-                dim: 8,
-                iterations: 50,
-            },
-        });
-        sc.add_device(DeviceSpec {
-            link: link(),
-            strategy: Strategy::CloudRoundTrip {
-                samples: 100,
-                dim: 8,
-                iterations: 50,
-            },
-        });
-        sc.add_device(DeviceSpec { link: link(), strategy: prior_strategy() });
-        let r = sc.run();
-        assert_eq!(r.devices[0].mode, FitMode::LocalOnly);
-        assert_eq!(r.devices[0].attempts, 0);
-        assert_eq!(r.devices[1].mode, FitMode::FreshPrior);
-        assert_eq!(r.devices[1].attempts, 1);
-        assert_eq!(r.devices[2].mode, FitMode::FreshPrior);
-        assert_eq!(r.devices[2].attempts, 1);
-        assert_eq!(r.dropped_requests, 0);
+    /// Starts the device-side EM fit after a prior payload lands
+    /// (identical in both modes).
+    fn fit_with_prior(&mut self, device: u32, now: SimTime) {
+        let i = device as usize;
+        if self.devs[i].fetch == FetchState::Resolved {
+            // A payload for an already-resolved fetch (the device resent
+            // while this one was in flight, or already fell back) still
+            // costs radio bytes but triggers no second fit.
+            return;
+        }
+        self.devs[i].fetch = FetchState::Resolved;
+        self.devs[i].report.mode = FitMode::FreshPrior;
+        let Strategy::PriorTransfer {
+            samples,
+            dim,
+            iterations,
+            em_rounds,
+            ..
+        } = self.sc.devices[i].strategy
+        else {
+            unreachable!("prior payload for non-prior strategy");
+        };
+        let t = self.sc.compute.train_time(
+            self.sc.compute.em_cost,
+            self.sc.compute.device_flops,
+            samples,
+            dim,
+            iterations * em_rounds.max(1),
+        );
+        self.devs[i].report.compute_joules += self.sc.energy.joules_per_flop
+            * self.sc.compute.train_flops(
+                self.sc.compute.em_cost,
+                samples,
+                dim,
+                iterations * em_rounds.max(1),
+            );
+        self.queue.schedule(now + t, Event::DeviceComputeDone { device });
     }
 
-    #[test]
-    fn outage_is_ridden_out_by_deterministic_retries() {
-        // Outage [0, 100 ms); 30 ms deadline doubling per attempt. The
-        // request arrives at 20.018 ms (dropped), the attempt-2 resend at
-        // 50.018 ms (dropped), and the attempt-3 resend — sent at the
-        // 90 ms deadline — arrives at 110.018 ms, after the heal.
-        let mut sc = Scenario::new(ComputeModel::default())
-            .with_retry(RetryModel {
-                timeout: SimDuration::from_millis_f64(30.0),
-                max_attempts: 4,
-            })
-            .with_outage(SimDuration::ZERO, SimDuration::from_millis_f64(100.0));
-        sc.add_device(DeviceSpec { link: link(), strategy: prior_strategy() });
-        let r = sc.run();
-        let d = &r.devices[0];
-        assert_eq!(d.mode, FitMode::FreshPrior, "the fetch must recover");
-        assert_eq!(d.attempts, 3);
-        assert_eq!(r.dropped_requests, 2);
-        assert_eq!(d.bytes_sent, 3 * REQUEST_BYTES);
-        assert_eq!(d.bytes_received, prior_transfer_bytes(2, 8));
-        // Outage scenarios replay bit-identically.
-        assert_eq!(sc.run(), r);
+    /// FIFO single-server cloud training for a raw-data upload (identical
+    /// in both modes).
+    fn cloud_train(&mut self, device: u32, now: SimTime) {
+        let Strategy::CloudRoundTrip {
+            samples,
+            dim,
+            iterations,
+        } = self.sc.devices[device as usize].strategy
+        else {
+            unreachable!("raw data from non-cloud strategy");
+        };
+        let start = now.max(self.cloud_busy_until);
+        let t = self.sc.compute.train_time(
+            self.sc.compute.erm_cost,
+            self.sc.compute.cloud_flops,
+            samples,
+            dim,
+            iterations,
+        );
+        self.cloud_busy_until = start + t;
+        self.cloud_busy = self.cloud_busy + t;
+        self.queue
+            .schedule(self.cloud_busy_until, Event::CloudComputeDone { device });
     }
 
-    #[test]
-    fn exhausted_retry_budget_falls_back_to_local_erm() {
-        let mut sc = Scenario::new(ComputeModel::default())
-            .with_retry(RetryModel {
-                timeout: SimDuration::from_millis_f64(30.0),
-                max_attempts: 2,
-            })
-            .with_outage(SimDuration::ZERO, SimDuration::from_secs_f64(10.0));
-        sc.add_device(DeviceSpec { link: link(), strategy: prior_strategy() });
-        let r = sc.run();
-        let d = &r.devices[0];
-        assert_eq!(d.mode, FitMode::LocalOnly);
-        assert_eq!(d.attempts, 2);
-        assert_eq!(r.dropped_requests, 2);
-        assert_eq!(d.bytes_received, 0, "nothing ever came back");
-        assert_eq!(d.bytes_sent, 2 * REQUEST_BYTES);
-        // Gave up at the attempt-2 deadline (30 + 60 ms), then trained
-        // locally: 20·100·8·50 = 8·10⁵ FLOPs at 10⁸ FLOP/s = 8 ms.
-        assert_eq!(d.completion.as_micros(), 90_000 + 8_000);
-        // The fallback charges exactly the EdgeOnly compute energy.
-        let mut edge = Scenario::new(ComputeModel::default());
-        edge.add_device(DeviceSpec {
-            link: link(),
-            strategy: Strategy::EdgeOnly {
-                samples: 100,
-                dim: 8,
-                iterations: 50,
-            },
-        });
-        assert_eq!(d.compute_joules, edge.run().devices[0].compute_joules);
-    }
-
-    #[test]
-    fn legacy_runs_model_no_connection_costs() {
-        // Without a client mode the connection model is off: no
-        // handshakes, no report leg — the pre-connection-model numbers.
-        let mut sc = Scenario::new(ComputeModel::default());
-        sc.add_device(DeviceSpec { link: link(), strategy: prior_strategy() });
-        let r = sc.run();
-        assert_eq!(r.devices[0].handshakes, 0);
-        assert_eq!(r.model_reports, 0);
-        assert_eq!(r.devices[0].bytes_sent, REQUEST_BYTES);
-    }
-
-    #[test]
-    fn fresh_per_request_pays_a_handshake_per_message() {
-        let run = |mode: Option<ClientMode>| {
-            let mut sc = Scenario::new(ComputeModel::default());
-            if let Some(mode) = mode {
-                sc = sc.with_client_mode(mode);
+    /// Whether a prior request arriving at `now` falls into the outage
+    /// window (and is silently dropped).
+    fn outage_drops(&mut self, now: SimTime) -> bool {
+        if let Some((start, end)) = self.sc.outage {
+            if now >= start && now < end {
+                self.dropped_requests += 1;
+                return true;
             }
-            sc.add_device(DeviceSpec { link: link(), strategy: prior_strategy() });
-            sc.run()
-        };
-        let legacy = run(None);
-        let fresh = run(Some(ClientMode::FreshPerRequest));
-        let d = &fresh.devices[0];
-        // Two connections: the prior fetch and the model report.
-        assert_eq!(d.handshakes, 2);
-        assert_eq!(fresh.model_reports, 1);
-        // The handshake is time-only; the report leg is the only byte
-        // difference against the legacy run.
-        assert_eq!(d.bytes_sent, REQUEST_BYTES + model_report_bytes(8));
-        assert_eq!(d.bytes_received, prior_transfer_bytes(2, 8));
-        // Exactly one handshake round trip (2 × 20 ms) sits on the
-        // critical path — the report connection happens after the model
-        // is ready, so it never delays completion.
-        assert_eq!(
-            d.completion.as_micros(),
-            legacy.devices[0].completion.as_micros() + 2 * 20_000
-        );
-        assert_eq!(fresh.makespan, d.completion);
-    }
-
-    #[test]
-    fn keep_alive_amortizes_the_handshake_across_the_round() {
-        // Same outage as `outage_is_ridden_out_by_deterministic_retries`:
-        // three attempts, two dropped. Fresh-per-request redials for every
-        // attempt plus the report; keep-alive dials once and reuses the
-        // stream (the outage drops requests at the application layer, so
-        // the stream stays up).
-        let run = |mode: ClientMode| {
-            let mut sc = Scenario::new(ComputeModel::default())
-                .with_retry(RetryModel {
-                    timeout: SimDuration::from_millis_f64(30.0),
-                    max_attempts: 4,
-                })
-                .with_outage(SimDuration::ZERO, SimDuration::from_millis_f64(100.0))
-                .with_client_mode(mode);
-            sc.add_device(DeviceSpec { link: link(), strategy: prior_strategy() });
-            let r = sc.run();
-            assert_eq!(sc.run(), r, "connection-model runs must replay bit-identically");
-            r
-        };
-        let fresh = run(ClientMode::FreshPerRequest);
-        let keep = run(ClientMode::KeepAlive);
-        for r in [&fresh, &keep] {
-            let d = &r.devices[0];
-            assert_eq!(d.mode, FitMode::FreshPrior);
-            assert_eq!(d.attempts, 3);
-            assert_eq!(r.dropped_requests, 2);
-            assert_eq!(r.model_reports, 1);
-            // Handshakes never cost frame bytes: both modes ship exactly
-            // three request frames and one report frame.
-            assert_eq!(d.bytes_sent, 3 * REQUEST_BYTES + model_report_bytes(8));
         }
-        assert_eq!(fresh.devices[0].handshakes, 4); // 3 attempts + report
-        assert_eq!(keep.devices[0].handshakes, 1); // amortized
-        // Only the winning attempt's handshake is on the critical path,
-        // and keep-alive has already paid it: exactly one round trip
-        // (2 × 20 ms) separates the two modes.
-        assert_eq!(
-            fresh.devices[0].completion.as_micros(),
-            keep.devices[0].completion.as_micros() + 2 * 20_000
-        );
+        false
     }
 
-    #[test]
-    fn cloud_round_trip_pays_one_handshake_in_either_mode() {
-        let run = |mode: ClientMode| {
-            let mut sc = Scenario::new(ComputeModel::default()).with_client_mode(mode);
-            sc.add_device(DeviceSpec {
-                link: link(),
-                strategy: Strategy::CloudRoundTrip {
-                    samples: 100,
-                    dim: 8,
-                    iterations: 50,
+    /// Charges the transport handshake for one outgoing message, if the
+    /// connection model is enabled and the device needs a fresh
+    /// connection. Returns the extra delay before the message's first
+    /// byte departs: one round trip (two propagation legs) — handshake
+    /// segments carry no frame bytes, so time is the only cost.
+    fn connect(&mut self, device: u32) -> SimDuration {
+        let Some(mode) = self.sc.client else {
+            return SimDuration::ZERO;
+        };
+        let i = device as usize;
+        if mode == ClientMode::KeepAlive && self.devs[i].connected {
+            return SimDuration::ZERO;
+        }
+        self.devs[i].connected = true;
+        self.devs[i].report.handshakes += 1;
+        let latency = self.sc.devices[i].link.latency();
+        SimDuration::from_micros(2 * latency.as_micros())
+    }
+
+    /// Sends (or resends) one prior request for `device`, charging radio
+    /// bytes and energy — plus the connection handshake when the client
+    /// mode requires a fresh stream — and, when a [`RetryModel`] is
+    /// configured, arming the attempt's response deadline.
+    fn send_prior_request(&mut self, device: u32, attempt: u32, now: SimTime) {
+        let i = device as usize;
+        self.devs[i].report.attempts = attempt;
+        if self.topo.is_some() {
+            let handshake = self.connect(device);
+            self.start_message(
+                device,
+                device,
+                self.n,
+                MessageKind::PriorRequest,
+                REQUEST_BYTES,
+                now + handshake,
+            );
+        } else {
+            self.devs[i].report.bytes_sent += REQUEST_BYTES;
+            self.devs[i].report.radio_joules +=
+                self.sc.energy.joules_per_byte * REQUEST_BYTES as f64;
+            let handshake = self.connect(device);
+            self.queue.schedule(
+                now + handshake + self.sc.devices[i].link.transfer_time(REQUEST_BYTES),
+                Event::ArriveAtCloud {
+                    device,
+                    kind: MessageKind::PriorRequest,
                 },
-            });
-            sc.run()
+            );
+        }
+        if let Some(retry) = self.sc.retry {
+            queue_retry(&mut self.queue, now, retry, device, attempt);
+        }
+    }
+
+    // ----- legacy (direct-delivery) handlers -----
+
+    fn on_arrive_at_cloud(&mut self, device: u32, kind: MessageKind, now: SimTime) {
+        let spec = self.sc.devices[device as usize];
+        match kind {
+            MessageKind::PriorRequest => {
+                // The outage window drops arriving requests silently; the
+                // device's retry deadline is the only recovery path.
+                if self.outage_drops(now) {
+                    return;
+                }
+                // Prior is precomputed; respond immediately.
+                let Strategy::PriorTransfer { .. } = spec.strategy else {
+                    unreachable!("prior request from non-prior strategy");
+                };
+                let prior_bytes = legacy_payload_bytes(spec.strategy, MessageKind::PriorPayload);
+                self.queue.schedule(
+                    now + spec.link.transfer_time(prior_bytes),
+                    Event::ArriveAtDevice {
+                        device,
+                        kind: MessageKind::PriorPayload,
+                    },
+                );
+            }
+            MessageKind::RawData => self.cloud_train(device, now),
+            MessageKind::ModelReport => {
+                // Telemetry sink: the cloud absorbs the report (no
+                // response leg), so it only counts.
+                self.model_reports += 1;
+            }
+            MessageKind::PriorPayload | MessageKind::ModelPayload => {
+                unreachable!("cloud cannot receive its own payload kinds")
+            }
+        }
+    }
+
+    fn on_arrive_at_device(&mut self, device: u32, kind: MessageKind, now: SimTime) {
+        let i = device as usize;
+        let bytes = legacy_payload_bytes(self.sc.devices[i].strategy, kind);
+        self.devs[i].report.bytes_received += bytes;
+        self.devs[i].report.radio_joules += self.sc.energy.joules_per_byte * bytes as f64;
+        match kind {
+            MessageKind::ModelPayload => {
+                self.devs[i].report.completion = now;
+            }
+            MessageKind::PriorPayload => self.fit_with_prior(device, now),
+            MessageKind::PriorRequest | MessageKind::RawData | MessageKind::ModelReport => {
+                unreachable!("devices cannot receive cloud-bound kinds")
+            }
+        }
+    }
+
+    // ----- topology-mode: switch fabric -----
+
+    /// Uplink (host → switch) port of `host`.
+    fn uplink(&self, host: u32) -> u32 {
+        host * 2
+    }
+
+    /// Egress (switch → host) port of `host`.
+    fn egress(&self, host: u32) -> u32 {
+        host * 2 + 1
+    }
+
+    /// The access link a port serializes onto.
+    fn port_link(&self, port: u32) -> Link {
+        let host = port / 2;
+        if host < self.n {
+            self.sc.devices[host as usize].link
+        } else {
+            self.topo.as_ref().unwrap().cloud_link
+        }
+    }
+
+    /// Accrues transmitted bytes/energy to a device (the cloud's radio is
+    /// not metered, matching the legacy accounting).
+    fn charge_tx(&mut self, host: u32, bytes: u64) {
+        if host < self.n {
+            let r = &mut self.devs[host as usize].report;
+            r.bytes_sent += bytes;
+            r.radio_joules += self.sc.energy.joules_per_byte * bytes as f64;
+        }
+    }
+
+    /// Accrues received bytes/energy to a device.
+    fn charge_rx(&mut self, host: u32, bytes: u64) {
+        if host < self.n {
+            let r = &mut self.devs[host as usize].report;
+            r.bytes_received += bytes;
+            r.radio_joules += self.sc.energy.joules_per_byte * bytes as f64;
+        }
+    }
+
+    /// Allocates a reliable transfer for one whole message and schedules
+    /// its window opening at `at`.
+    fn start_message(
+        &mut self,
+        device: u32,
+        src: u32,
+        dst: u32,
+        kind: MessageKind,
+        bytes: u64,
+        at: SimTime,
+    ) {
+        let mtu = self.topo.as_ref().unwrap().switch.mtu as u64;
+        let segments = bytes.div_ceil(mtu).max(1) as u32;
+        let (id, gen) = self.transfers.alloc(Transfer {
+            gen: 0,
+            active: true,
+            next_free: NONE,
+            src,
+            dst,
+            device,
+            kind,
+            total_bytes: bytes,
+            segments,
+            base: 0,
+            next_seg: 0,
+            highest_sent: 0,
+            recv_next: 0,
+            epoch: 0,
+            timer_armed: false,
+            retx_rounds: 0,
+            delivered: false,
+        });
+        self.queue.schedule(at, Event::TransferStart { transfer: id, gen });
+    }
+
+    fn on_transfer_start(&mut self, id: u32, gen: u32, now: SimTime) {
+        if !self.transfers.live(id, gen) {
+            return;
+        }
+        self.pump(id, now);
+    }
+
+    /// Sends every segment the go-back-N window allows, then (re)arms the
+    /// retransmit timer if anything is outstanding.
+    fn pump(&mut self, id: u32, now: SimTime) {
+        let window = self.topo.as_ref().unwrap().switch.window;
+        loop {
+            let t = *self.transfers.get(id);
+            if t.next_seg >= t.segments || t.next_seg >= t.base + window {
+                break;
+            }
+            self.transfers.get_mut(id).next_seg = t.next_seg + 1;
+            self.send_segment(id, t.next_seg, now);
+        }
+        let rto = self.current_rto(id);
+        let t = self.transfers.get_mut(id);
+        if t.base < t.next_seg && !t.timer_armed {
+            t.timer_armed = true;
+            t.epoch = t.epoch.wrapping_add(1);
+            let (gen, epoch) = (t.gen, t.epoch);
+            self.queue
+                .schedule(now + rto, Event::RetxTimer { transfer: id, gen, epoch });
+        }
+    }
+
+    /// The transfer's current timeout: the base RTO, doubled per
+    /// consecutive expiry when backoff is on.
+    fn current_rto(&self, id: u32) -> SimDuration {
+        let sw = self.topo.as_ref().unwrap().switch;
+        if sw.rto_backoff {
+            let shift = self.transfers.get(id).retx_rounds.min(16);
+            SimDuration::from_micros(sw.rto.as_micros().saturating_mul(1u64 << shift))
+        } else {
+            sw.rto
+        }
+    }
+
+    fn send_segment(&mut self, id: u32, seq: u32, now: SimTime) {
+        let t = *self.transfers.get(id);
+        let mtu = self.topo.as_ref().unwrap().switch.mtu as u64;
+        let bytes = if seq + 1 < t.segments {
+            mtu
+        } else {
+            t.total_bytes - (t.segments as u64 - 1) * mtu
         };
-        let fresh = run(ClientMode::FreshPerRequest);
-        let keep = run(ClientMode::KeepAlive);
-        // One connection carries the whole upload → train → download
-        // round trip, so the modes agree everywhere.
-        assert_eq!(fresh, keep);
-        assert_eq!(fresh.devices[0].handshakes, 1);
-        // Raw-data upload is not the serving protocol: no report leg.
-        assert_eq!(fresh.model_reports, 0);
+        if seq < t.highest_sent {
+            self.bytes_retransmitted += bytes;
+        } else {
+            self.transfers.get_mut(id).highest_sent = seq + 1;
+        }
+        self.charge_tx(t.src, bytes);
+        let frame = self.frames.alloc(Frame {
+            next: NONE,
+            transfer: id,
+            gen: t.gen,
+            seq,
+            bytes: bytes as u32,
+            dst: t.dst,
+            is_ack: false,
+        });
+        self.enqueue_port(self.uplink(t.src), frame, now);
     }
 
-    #[test]
-    #[should_panic(expected = "outage window requires a retry model")]
-    fn outage_without_a_retry_model_is_rejected() {
-        let mut sc = Scenario::new(ComputeModel::default())
-            .with_outage(SimDuration::ZERO, SimDuration::from_millis_f64(50.0));
-        sc.add_device(DeviceSpec { link: link(), strategy: prior_strategy() });
-        sc.run();
+    /// Offers `frame` to a port's drop-tail queue; starts transmission if
+    /// the port was idle, drops the frame if the queue is full.
+    fn enqueue_port(&mut self, port: u32, frame: u32, now: SimTime) {
+        let cap = self.topo.as_ref().unwrap().switch.queue_capacity;
+        let p = port as usize;
+        if self.ports[p].len >= cap {
+            self.messages_dropped += 1;
+            self.frames.free(frame);
+            return;
+        }
+        let bytes = self.frames.get(frame).bytes as u64;
+        self.ports[p].push(&mut self.frames, frame);
+        if !self.ports[p].busy {
+            self.ports[p].busy = true;
+            let link = self.port_link(port);
+            self.queue
+                .schedule(now + ser_time(link, bytes), Event::PortDeparture { port });
+        }
     }
 
-    #[test]
-    fn retry_deadlines_double_per_attempt() {
-        let retry = RetryModel {
-            timeout: SimDuration::from_millis_f64(10.0),
-            max_attempts: 5,
+    fn on_port_departure(&mut self, port: u32, now: SimTime) {
+        let p = port as usize;
+        let frame = self.ports[p]
+            .pop(&mut self.frames)
+            .expect("PortDeparture on an empty port");
+        let crossing = self.ports[p].crossings;
+        self.ports[p].crossings += 1;
+        let host = port / 2;
+        let link = self.port_link(port);
+        let topo = self.topo.as_ref().unwrap();
+        let loss = if host < self.n {
+            topo.device_loss
+        } else {
+            topo.cloud_loss
         };
-        assert_eq!(retry.deadline(1).as_micros(), 10_000);
-        assert_eq!(retry.deadline(2).as_micros(), 20_000);
-        assert_eq!(retry.deadline(4).as_micros(), 80_000);
-        // The shift saturates instead of overflowing.
-        assert!(retry.deadline(u32::MAX).as_micros() >= retry.deadline(17).as_micros());
+        if loss.drops(port, crossing) {
+            self.messages_dropped += 1;
+            self.frames.free(frame);
+        } else {
+            self.frames_forwarded += 1;
+            if port.is_multiple_of(2) {
+                // Uplink: cross the sender's access link, then queue at
+                // the destination host's egress port.
+                let dst = self.frames.get(frame).dst;
+                self.queue.schedule(
+                    now + link.latency(),
+                    Event::PortArrive {
+                        port: self.egress(dst),
+                        frame,
+                    },
+                );
+            } else {
+                // Egress: cross the destination's access link to its NIC.
+                self.queue
+                    .schedule(now + link.latency(), Event::Deliver { frame });
+            }
+        }
+        // Begin transmitting the next queued frame, if any.
+        let head = self.ports[p].head;
+        if head != NONE {
+            let bytes = self.frames.get(head).bytes as u64;
+            self.queue
+                .schedule(now + ser_time(link, bytes), Event::PortDeparture { port });
+        } else {
+            self.ports[p].busy = false;
+        }
     }
 
-    #[test]
-    fn byte_size_helpers() {
-        assert_eq!(raw_data_bytes(10, 4), 8 * 10 * 5);
-        assert_eq!(model_bytes(4), 40);
-        // Request frame: 10 bytes of framing around a u64 task id.
-        assert_eq!(REQUEST_BYTES, 18);
-        // Response frame for K=2, feature dim 4 (parameter dim 5): 10 bytes
-        // of framing + 13 bytes of transfer header + 2·(1+5+15) f64s.
-        assert_eq!(prior_transfer_bytes(2, 4), 10 + 13 + 8 * 2 * 21);
-        // Model report for feature dim 4: framing + task id + device id +
-        // sequence number + count + 5 f64s.
-        assert_eq!(model_report_bytes(4), 10 + 8 + 8 + 8 + 4 + 8 * 5);
+    fn on_deliver(&mut self, frame: u32, now: SimTime) {
+        let fr = *self.frames.get(frame);
+        self.frames.free(frame);
+        let id = fr.transfer;
+        if !self.transfers.live(id, fr.gen) {
+            // The transfer completed or was recycled while this frame was
+            // in flight (e.g. a duplicate after the final ack).
+            return;
+        }
+        let t = *self.transfers.get(id);
+        if fr.is_ack {
+            self.charge_rx(t.src, fr.bytes as u64);
+            if fr.seq > t.base {
+                {
+                    let tm = self.transfers.get_mut(id);
+                    tm.base = fr.seq;
+                    tm.retx_rounds = 0;
+                    // Cancel the running timer; pump re-arms if needed.
+                    tm.epoch = tm.epoch.wrapping_add(1);
+                    tm.timer_armed = false;
+                }
+                if fr.seq >= t.segments {
+                    // Fully acknowledged: the transfer is done on both
+                    // sides (the receiver delivered before acking).
+                    self.transfers.free(id);
+                } else {
+                    self.pump(id, now);
+                }
+            }
+        } else {
+            self.charge_rx(t.dst, fr.bytes as u64);
+            if fr.seq == t.recv_next {
+                self.transfers.get_mut(id).recv_next = fr.seq + 1;
+            }
+            // Cumulative ack — duplicates re-ack, so a lost final ack is
+            // recovered by the sender's retransmission.
+            self.send_ack(id, now);
+            let t = *self.transfers.get(id);
+            if t.recv_next >= t.segments && !t.delivered {
+                self.transfers.get_mut(id).delivered = true;
+                self.app_deliver(id, now);
+            }
+        }
+    }
+
+    fn send_ack(&mut self, id: u32, now: SimTime) {
+        let t = *self.transfers.get(id);
+        self.charge_tx(t.dst, ACK_BYTES);
+        let frame = self.frames.alloc(Frame {
+            next: NONE,
+            transfer: id,
+            gen: t.gen,
+            seq: t.recv_next,
+            bytes: ACK_BYTES as u32,
+            dst: t.src,
+            is_ack: true,
+        });
+        self.enqueue_port(self.uplink(t.dst), frame, now);
+    }
+
+    fn on_retx_timer(&mut self, id: u32, gen: u32, epoch: u32, now: SimTime) {
+        if !self.transfers.live(id, gen) {
+            return;
+        }
+        let t = *self.transfers.get(id);
+        if epoch != t.epoch {
+            return; // superseded by a later arming
+        }
+        self.transfers.get_mut(id).timer_armed = false;
+        if t.base >= t.next_seg {
+            return; // nothing outstanding
+        }
+        let max_retx = self.topo.as_ref().unwrap().switch.max_retx;
+        let rounds = t.retx_rounds + 1;
+        if rounds > max_retx {
+            // Abort: the path is dead. Prior requests/payloads recover via
+            // the application-level RetryModel; other messages leave the
+            // device incomplete — visible in its report.
+            self.transfers.free(id);
+            return;
+        }
+        {
+            let tm = self.transfers.get_mut(id);
+            tm.retx_rounds = rounds;
+            tm.next_seg = tm.base; // go back N
+        }
+        self.pump(id, now);
+    }
+
+    /// A fully reassembled message reaches its destination's application
+    /// layer — the topology-mode twin of the legacy arrival handlers.
+    fn app_deliver(&mut self, id: u32, now: SimTime) {
+        let t = *self.transfers.get(id);
+        match t.kind {
+            MessageKind::PriorRequest => {
+                if self.outage_drops(now) {
+                    return;
+                }
+                let bytes = legacy_payload_bytes(
+                    self.sc.devices[t.device as usize].strategy,
+                    MessageKind::PriorPayload,
+                );
+                self.start_message(t.device, self.n, t.device, MessageKind::PriorPayload, bytes, now);
+            }
+            MessageKind::RawData => self.cloud_train(t.device, now),
+            MessageKind::ModelReport => {
+                self.model_reports += 1;
+            }
+            MessageKind::PriorPayload => self.fit_with_prior(t.device, now),
+            MessageKind::ModelPayload => {
+                self.devs[t.device as usize].report.completion = now;
+            }
+        }
+    }
+
+    /// Reduces an executed event to its trace record.
+    fn trace_of(&self, now: SimTime, event: Event) -> TraceEvent {
+        let owner_of_port = |port: u32| {
+            let host = port / 2;
+            if host < self.n {
+                host
+            } else {
+                CLOUD_DEVICE
+            }
+        };
+        let (kind, device) = match event {
+            Event::ArriveAtCloud { device, kind } => (TraceKind::ArriveAtCloud(kind), device),
+            Event::ArriveAtDevice { device, kind } => (TraceKind::ArriveAtDevice(kind), device),
+            Event::DeviceComputeDone { device } => (TraceKind::DeviceComputeDone, device),
+            Event::CloudComputeDone { device } => (TraceKind::CloudComputeDone, device),
+            Event::RetryTimer { device, .. } => (TraceKind::RetryTimer, device),
+            Event::PortDeparture { port } => (TraceKind::PortDeparture, owner_of_port(port)),
+            Event::PortArrive { port, .. } => (TraceKind::PortArrive, owner_of_port(port)),
+            Event::Deliver { frame } => (
+                TraceKind::Deliver,
+                self.transfers.get(self.frames.get(frame).transfer).device,
+            ),
+            Event::RetxTimer { transfer, .. } => {
+                (TraceKind::RetxTimer, self.transfers.get(transfer).device)
+            }
+            Event::TransferStart { transfer, .. } => {
+                (TraceKind::TransferStart, self.transfers.get(transfer).device)
+            }
+        };
+        TraceEvent {
+            time_us: now.as_micros(),
+            kind,
+            device,
+        }
     }
 }
+
+/// The wire size of a cloud-to-device payload in the legacy model, where
+/// delivery events carry no byte counts — the size is a pure function of
+/// the device's strategy and the message kind.
+fn legacy_payload_bytes(strategy: Strategy, kind: MessageKind) -> u64 {
+    match (kind, strategy) {
+        (MessageKind::ModelPayload, Strategy::CloudRoundTrip { dim, .. }) => model_bytes(dim),
+        (
+            MessageKind::PriorPayload,
+            Strategy::PriorTransfer {
+                dim,
+                prior_components,
+                ..
+            },
+        ) => prior_transfer_bytes(prior_components, dim),
+        _ => unreachable!("no payload size for {kind:?} under {strategy:?}"),
+    }
+}
+
+/// Arms the application-level response deadline for a prior request.
+fn queue_retry(queue: &mut EventQueue, now: SimTime, retry: RetryModel, device: u32, attempt: u32) {
+    queue.schedule(
+        now + retry.deadline(attempt),
+        Event::RetryTimer { device, attempt },
+    );
+}
+
+#[cfg(test)]
+#[path = "scenario_tests.rs"]
+mod tests;

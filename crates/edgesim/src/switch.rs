@@ -1,0 +1,316 @@
+//! Switch-fabric runtime state: slab-recycled frames and transfers, and
+//! intrusive per-port FIFO queues.
+//!
+//! Everything here is flat, index-based, and `Copy`: frames and transfers
+//! live in slabs with free lists, and each port's drop-tail queue is an
+//! intrusive linked list threaded through the frame slab (`Frame::next`).
+//! A million-device scenario therefore allocates a handful of `Vec`s at
+//! setup and then runs its steady-state loop without touching the
+//! allocator — no boxed events, no per-port `VecDeque`s, no per-message
+//! heap objects.
+
+use crate::event::MessageKind;
+
+/// Sentinel index: "no frame" / "end of list".
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// One frame on the wire or in a queue. `next` threads the frame through
+/// its port's intrusive FIFO (or the slab free list while recycled).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Frame {
+    pub next: u32,
+    /// Owning transfer slab id, plus the generation it was sent under so
+    /// deliveries to a completed (recycled) transfer are recognized stale.
+    pub transfer: u32,
+    pub gen: u32,
+    /// Data: 0-based segment index. Ack: cumulative next-expected segment.
+    pub seq: u32,
+    pub bytes: u32,
+    /// Destination host (routing key at the sender's uplink port).
+    pub dst: u32,
+    pub is_ack: bool,
+}
+
+/// Frame slab with an intrusive free list.
+#[derive(Debug)]
+pub(crate) struct FrameSlab {
+    slots: Vec<Frame>,
+    free_head: u32,
+}
+
+impl Default for FrameSlab {
+    fn default() -> Self {
+        FrameSlab::with_capacity(0)
+    }
+}
+
+impl FrameSlab {
+    pub fn with_capacity(n: usize) -> Self {
+        FrameSlab {
+            slots: Vec::with_capacity(n),
+            free_head: NONE,
+        }
+    }
+
+    pub fn alloc(&mut self, frame: Frame) -> u32 {
+        if self.free_head != NONE {
+            let id = self.free_head;
+            self.free_head = self.slots[id as usize].next;
+            self.slots[id as usize] = frame;
+            id
+        } else {
+            let id = self.slots.len() as u32;
+            assert!(id != NONE, "frame slab exhausted");
+            self.slots.push(frame);
+            id
+        }
+    }
+
+    pub fn free(&mut self, id: u32) {
+        self.slots[id as usize].next = self.free_head;
+        self.free_head = id;
+    }
+
+    pub fn get(&self, id: u32) -> &Frame {
+        &self.slots[id as usize]
+    }
+
+    pub fn get_mut(&mut self, id: u32) -> &mut Frame {
+        &mut self.slots[id as usize]
+    }
+}
+
+/// One direction of one access link: a busy flag, the intrusive drop-tail
+/// FIFO (head/tail frame ids), and the crossing counter that drives the
+/// deterministic loss model.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PortState {
+    pub busy: bool,
+    pub head: u32,
+    pub tail: u32,
+    pub len: u32,
+    pub crossings: u64,
+}
+
+impl Default for PortState {
+    fn default() -> Self {
+        PortState {
+            busy: false,
+            head: NONE,
+            tail: NONE,
+            len: 0,
+            crossings: 0,
+        }
+    }
+}
+
+impl PortState {
+    /// Appends `frame` to the FIFO. The caller enforces capacity.
+    pub fn push(&mut self, frames: &mut FrameSlab, frame: u32) {
+        frames.get_mut(frame).next = NONE;
+        if self.tail == NONE {
+            self.head = frame;
+        } else {
+            let tail = self.tail;
+            frames.get_mut(tail).next = frame;
+        }
+        self.tail = frame;
+        self.len += 1;
+    }
+
+    /// Removes and returns the head-of-line frame.
+    pub fn pop(&mut self, frames: &mut FrameSlab) -> Option<u32> {
+        if self.head == NONE {
+            return None;
+        }
+        let frame = self.head;
+        self.head = frames.get(frame).next;
+        if self.head == NONE {
+            self.tail = NONE;
+        }
+        self.len -= 1;
+        Some(frame)
+    }
+}
+
+/// One reliable go-back-N transfer (a whole message: request, payload,
+/// raw-data upload, or model report).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Transfer {
+    /// Bumped on every recycle so stale frame deliveries and timers are
+    /// recognized and ignored.
+    pub gen: u32,
+    pub active: bool,
+    /// Free-list link while recycled.
+    pub next_free: u32,
+    /// Source and destination hosts (device index, or `n` for the cloud).
+    pub src: u32,
+    pub dst: u32,
+    /// The device this message belongs to (for application dispatch).
+    pub device: u32,
+    pub kind: MessageKind,
+    pub total_bytes: u64,
+    pub segments: u32,
+    /// Sender: lowest un-acked segment.
+    pub base: u32,
+    /// Sender: next segment to send.
+    pub next_seg: u32,
+    /// Sender: segments sent at least once (resends below this count as
+    /// retransmitted bytes).
+    pub highest_sent: u32,
+    /// Receiver: next in-order segment expected (the cumulative ack).
+    pub recv_next: u32,
+    /// Retransmit-timer arming epoch; timers from older epochs are stale.
+    pub epoch: u32,
+    pub timer_armed: bool,
+    /// Consecutive timeouts without forward progress (drives backoff and
+    /// the abort threshold).
+    pub retx_rounds: u32,
+    /// Receiver delivered the full message to the application.
+    pub delivered: bool,
+}
+
+/// Transfer slab with generation-stamped recycling.
+#[derive(Debug)]
+pub(crate) struct TransferSlab {
+    slots: Vec<Transfer>,
+    free_head: u32,
+}
+
+impl Default for TransferSlab {
+    fn default() -> Self {
+        TransferSlab::with_capacity(0)
+    }
+}
+
+impl TransferSlab {
+    pub fn with_capacity(n: usize) -> Self {
+        TransferSlab {
+            slots: Vec::with_capacity(n),
+            free_head: NONE,
+        }
+    }
+
+    /// Allocates a transfer, preserving (and returning) the slot's current
+    /// generation.
+    pub fn alloc(&mut self, mut transfer: Transfer) -> (u32, u32) {
+        if self.free_head != NONE {
+            let id = self.free_head;
+            let slot = &mut self.slots[id as usize];
+            self.free_head = slot.next_free;
+            transfer.gen = slot.gen;
+            *slot = transfer;
+            (id, slot.gen)
+        } else {
+            let id = self.slots.len() as u32;
+            assert!(id != NONE, "transfer slab exhausted");
+            transfer.gen = 0;
+            self.slots.push(transfer);
+            (id, 0)
+        }
+    }
+
+    /// Recycles a transfer, bumping its generation so in-flight frames and
+    /// timers that still reference it are recognized stale.
+    pub fn free(&mut self, id: u32) {
+        let slot = &mut self.slots[id as usize];
+        debug_assert!(slot.active, "double free of transfer {id}");
+        slot.active = false;
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.next_free = self.free_head;
+        self.free_head = id;
+    }
+
+    /// The transfer, if `id`/`gen` still name a live incarnation.
+    pub fn live(&self, id: u32, gen: u32) -> bool {
+        let slot = &self.slots[id as usize];
+        slot.active && slot.gen == gen
+    }
+
+    pub fn get(&self, id: u32) -> &Transfer {
+        &self.slots[id as usize]
+    }
+
+    pub fn get_mut(&mut self, id: u32) -> &mut Transfer {
+        &mut self.slots[id as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Frame {
+        Frame {
+            next: NONE,
+            transfer: 0,
+            gen: 0,
+            seq: 0,
+            bytes: 100,
+            dst: 0,
+            is_ack: false,
+        }
+    }
+
+    #[test]
+    fn port_fifo_preserves_order_through_the_slab() {
+        let mut slab = FrameSlab::default();
+        let mut port = PortState::default();
+        let ids: Vec<u32> = (0..5u32.pow(1))
+            .map(|i| {
+                let id = slab.alloc(Frame { seq: i, ..frame() });
+                port.push(&mut slab, id);
+                id
+            })
+            .collect();
+        assert_eq!(port.len, 5);
+        for expect in ids {
+            assert_eq!(port.pop(&mut slab), Some(expect));
+        }
+        assert_eq!(port.pop(&mut slab), None);
+        assert_eq!(port.len, 0);
+    }
+
+    #[test]
+    fn frame_slab_recycles_slots() {
+        let mut slab = FrameSlab::with_capacity(4);
+        let a = slab.alloc(frame());
+        let b = slab.alloc(frame());
+        slab.free(a);
+        let c = slab.alloc(frame());
+        assert_eq!(c, a, "freed slot is reused LIFO");
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn transfer_recycling_bumps_generation() {
+        let mut slab = TransferSlab::default();
+        let t = Transfer {
+            gen: 0,
+            active: true,
+            next_free: NONE,
+            src: 0,
+            dst: 1,
+            device: 0,
+            kind: MessageKind::PriorRequest,
+            total_bytes: 18,
+            segments: 1,
+            base: 0,
+            next_seg: 0,
+            highest_sent: 0,
+            recv_next: 0,
+            epoch: 0,
+            timer_armed: false,
+            retx_rounds: 0,
+            delivered: false,
+        };
+        let (id, gen) = slab.alloc(t);
+        assert!(slab.live(id, gen));
+        slab.free(id);
+        assert!(!slab.live(id, gen), "freed generation is stale");
+        let (id2, gen2) = slab.alloc(Transfer { active: true, ..t });
+        assert_eq!(id2, id, "slot is recycled");
+        assert_eq!(gen2, gen + 1, "generation advances on recycle");
+        assert!(slab.live(id2, gen2));
+    }
+}

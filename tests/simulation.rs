@@ -238,3 +238,75 @@ fn keep_alive_client_mode_amortizes_handshakes_at_real_frame_sizes() {
         keep.devices[0].completion.as_micros() + 2 * 30_000
     );
 }
+
+#[test]
+fn topology_transport_carries_the_real_prior_across_the_switch() {
+    use dre_edgesim::{LossModel, SwitchConfig, Topology, ACK_BYTES};
+
+    let (cloud_knowledge, dim) = fitted_cloud();
+    let prior_components = cloud_knowledge.prior().num_components();
+    let payload = prior_transfer_bytes(prior_components, dim);
+    // A small MTU forces the fitted prior (~1.2 kB) into several
+    // segments, exercising the go-back-N window.
+    let mtu = 256u64;
+    let segments = payload.div_ceil(mtu);
+    assert!(
+        segments > 1,
+        "the fitted prior ({payload} B) must segment at mtu {mtu} to exercise go-back-N"
+    );
+
+    let mk = |topo: Option<Topology>| {
+        let mut sc = Scenario::new(ComputeModel::default());
+        if let Some(t) = topo {
+            sc = sc.with_topology(t);
+        }
+        for i in 0..4 {
+            sc.add_device(DeviceSpec {
+                link: Link::new_ms(10.0 + i as f64, 1e6),
+                strategy: Strategy::PriorTransfer {
+                    samples: 100,
+                    dim,
+                    iterations: 50,
+                    em_rounds: 5,
+                    prior_components,
+                },
+            });
+        }
+        sc
+    };
+
+    let topo = Topology::one_big_switch(Link::new_ms(2.0, 1e8)).with_switch(SwitchConfig {
+        mtu: mtu as u32,
+        ..SwitchConfig::default()
+    });
+    let fabric = mk(Some(topo)).run();
+    let legacy = mk(None).run();
+
+    for d in &fabric.devices {
+        // Out: one request frame plus one ack per payload segment.
+        assert_eq!(d.bytes_sent, REQUEST_BYTES + segments * ACK_BYTES);
+        // In: the request's ack plus the segmented payload itself.
+        assert_eq!(d.bytes_received, ACK_BYTES + payload);
+        assert!(d.completion.as_micros() > 0);
+    }
+    assert_eq!(fabric.messages_dropped, 0);
+    assert_eq!(fabric.bytes_retransmitted, 0);
+    // The fabric models costs the legacy pipe ignores: queueing,
+    // serialization per hop, and transport acks.
+    assert!(fabric.makespan > legacy.makespan);
+    assert!(fabric.total_bytes > legacy.total_bytes);
+    // Lossy replay is bit-identical at a fixed seed.
+    let lossy = || {
+        let t = Topology::one_big_switch(Link::new_ms(2.0, 1e8))
+            .with_switch(SwitchConfig {
+                queue_capacity: 8,
+                mtu: mtu as u32,
+                ..SwitchConfig::default()
+            })
+            .with_device_loss(LossModel::Bernoulli { loss: 0.1, seed: 3 });
+        mk(Some(t)).run()
+    };
+    let a = lossy();
+    assert!(a.bytes_retransmitted > 0, "10% loss must cost retransmissions");
+    assert_eq!(a, lossy());
+}
